@@ -1,0 +1,166 @@
+"""Table 1 — custom banded solver vs LAPACK-style reference paths.
+
+Paper protocol: solve corner-banded systems of size N = 1024 at
+bandwidths 3..15, real matrix / complex right-hand side, all times
+normalized by the Netlib-LAPACK-style reference.
+
+The paper's 4x speed-up has three structural sources, each measured
+here directly:
+
+1. **no corner padding** — the padded general band a LAPACK solver needs
+   performs ~3-4x the floating-point work of the folded structure
+   (``flop ratio`` column, counted exactly);
+2. **real arithmetic** — promoting the matrix to complex (ZGBTRF-style,
+   the ``MKL_C`` path) costs ~2-4x over the real path (measured);
+3. **half the memory** — folded storage vs LAPACK's factor workspace
+   (``memory ratio`` column, counted exactly).
+
+Wall-clock columns are also reported, with an honesty note: the custom
+solver is pure NumPy with a Python-level row loop, so against *compiled*
+LAPACK (scipy) its structural advantage is buried under interpreter
+overhead — the measured-time shape assertion is therefore made against
+the like-for-like Netlib-style reference (also interpreted), while the
+flop/memory assertions carry the paper's actual mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.linalg
+
+from repro.linalg.custom import FoldedLU
+from repro.linalg.reference import netlib_banded_lu, netlib_banded_solve
+from repro.linalg.structure import BandedSystemSpec, FoldedBanded
+
+from conftest import emit, fmt_row
+from repro.perfmodel import paper_data as P
+
+N = 1024
+NBATCH = 64  # wavenumber systems per call
+
+
+def make_folded_batch(bandwidth: int, rng: np.random.Generator, nbatch: int = NBATCH):
+    kl = ku = (bandwidth - 1) // 2
+    spec = BandedSystemSpec(n=N, kl=kl, ku=ku, corner=kl)
+    data = rng.standard_normal((nbatch, N, spec.window))
+    mdiag = np.arange(N) - spec.jlo
+    data[:, np.arange(N), mdiag] += 2.0 * bandwidth
+    rhs = rng.standard_normal((nbatch, N)) + 1j * rng.standard_normal((nbatch, N))
+    return spec, FoldedBanded(spec, data), rhs
+
+
+def padded_ab_builder(spec: BandedSystemSpec):
+    """Scatter indices: folded storage -> LAPACK diagonal-ordered padded band."""
+    jlo = spec.jlo
+    klp = int(max(np.arange(spec.n) - jlo))
+    kup = int(max(jlo + spec.window - 1 - np.arange(spec.n)))
+    i_idx = np.repeat(np.arange(spec.n), spec.window)
+    j_idx = (jlo[:, None] + np.arange(spec.window)[None, :]).ravel()
+    band_rows = kup + i_idx - j_idx
+
+    def build(folded_system: np.ndarray, dtype=float) -> np.ndarray:
+        ab = np.zeros((klp + kup + 1, spec.n), dtype=dtype)
+        ab[band_rows, j_idx] = folded_system.ravel()
+        return ab
+
+    return klp, kup, build
+
+
+def padded_band_flops(n: int, klp: int, kup: int) -> float:
+    """Factor + solve multiply-adds of a general banded LU (no pivoting)."""
+    return n * (2.0 * klp * (kup + 1) + 2.0 * (klp + kup) + 1.0)
+
+
+def time_call(fn, repeats=2):
+    fn()
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_table01(benchmark):
+    rng = np.random.default_rng(0)
+    rows = []
+    for bw in P.TABLE1_BANDWIDTHS:
+        spec, fb, rhs = make_folded_batch(bw, rng)
+        klp, kup, build = padded_ab_builder(spec)
+        dense0 = FoldedBanded(spec, fb.data[:1]).to_dense()[0]
+
+        def netlib_one():
+            ab = netlib_banded_lu(dense0.astype(complex), klp, kup)
+            netlib_banded_solve(ab, klp, kup, rhs[0])
+
+        def mkl_r():
+            for b in range(NBATCH):
+                ab = build(fb.data[b])
+                stacked = np.column_stack([rhs[b].real, rhs[b].imag])
+                scipy.linalg.solve_banded((klp, kup), ab, stacked)
+
+        def mkl_c():
+            for b in range(NBATCH):
+                ab = build(fb.data[b], complex)
+                scipy.linalg.solve_banded((klp, kup), ab, rhs[b])
+
+        def custom():
+            FoldedLU(fb).solve(rhs)
+
+        t_netlib = time_call(netlib_one, repeats=1) * NBATCH
+        t_r = time_call(mkl_r)
+        t_c = time_call(mkl_c)
+        t_custom = time_call(custom)
+
+        # correctness guard before reporting performance
+        x = FoldedLU(fb).solve(rhs)
+        ref0 = scipy.linalg.solve_banded((klp, kup), build(fb.data[0], complex), rhs[0])
+        assert np.abs(x[0] - ref0).max() < 1e-8
+
+        lu = FoldedLU(fb)
+        flop_ratio = padded_band_flops(N, klp, kup) / (lu.factor_flops() + lu.solve_flops())
+        mem_ratio = spec.lapack_storage() / spec.folded_storage()
+        rows.append(
+            (bw, t_r / t_netlib, t_c / t_netlib, t_custom / t_netlib, flop_ratio, mem_ratio)
+        )
+
+    widths = (9, 8, 8, 8, 10, 10, 9, 9, 9)
+    lines = [
+        f"Table 1 — corner-banded solves, N={N}, batch={NBATCH}, "
+        "times normalized by the Netlib-style path",
+        fmt_row(
+            ("bandwidth", "MKL_R", "MKL_C", "Custom", "flopratio", "memratio",
+             "pap.R", "pap.C", "pap.Cu"),
+            widths,
+        ),
+    ]
+    for bw, r, c, cu, fr, mr in rows:
+        p = P.TABLE1[bw]
+        lines.append(
+            fmt_row(
+                (bw, f"{r:.3f}", f"{c:.3f}", f"{cu:.3f}", f"{fr:.2f}x", f"{mr:.2f}x",
+                 p["MKL_R"], p["MKL_C"], p["Custom_Lonestar"]),
+                widths,
+            )
+        )
+    lines += [
+        "flopratio = padded-general-band work / folded-structure work (the",
+        "paper's eliminated flops); memratio = LAPACK factor storage / folded",
+        "storage (the paper's halved memory).  Wall-clock shape holds against",
+        "the interpreted Netlib path; against compiled LAPACK the pure-NumPy",
+        "custom loop pays interpreter overhead the paper's Fortran did not.",
+    ]
+    emit("table01_banded_solver", "\n".join(lines))
+
+    for bw, r, c, cu, fr, mr in rows:
+        assert cu < 1.0, f"custom slower than the Netlib path at bandwidth {bw}"
+        assert mr > 1.7, f"memory ratio collapsed at bandwidth {bw}"
+        if bw >= 7:
+            assert mr > 1.85
+            assert fr > 2.5, f"flop ratio collapsed at bandwidth {bw}"
+
+    # benchmark the production kernel: batched factor+solve at bandwidth 15
+    spec, fb, rhs = make_folded_batch(15, rng)
+    benchmark(lambda: FoldedLU(fb).solve(rhs))

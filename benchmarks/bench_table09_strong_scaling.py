@@ -1,0 +1,110 @@
+"""Tables 7 & 9 — strong scaling of a full RK3 timestep on four machines.
+
+The machine model regenerates the paper's Table 9 (transpose / FFT /
+N-S advance / total per timestep) on the Table 7 grids, and the bench
+asserts the paper's qualitative findings: near-perfect Mira MPI scaling
+(97% at 786K vs 131K), the ~80% hybrid headline, excellent on-node
+scaling everywhere, and the Blue Waters transpose collapse.  A real
+distributed timestep runs on SimMPI ranks as the measured kernel.
+"""
+
+from __future__ import annotations
+
+from repro.core.solver import ChannelConfig
+from repro.mpi import run_spmd
+from repro.pencil.distributed import DistributedChannelDNS
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.machine import BLUE_WATERS, LONESTAR, MIRA, STAMPEDE
+from repro.perfmodel.timestep import ParallelLayout, TimestepModel
+
+from conftest import emit, fmt_row
+
+CASES = [
+    ("Mira (MPI)", MIRA, "mpi"),
+    ("Mira (Hybrid)", MIRA, "hybrid"),
+    ("Lonestar", LONESTAR, "mpi"),
+    ("Stampede", STAMPEDE, "mpi"),
+    ("Blue Waters", BLUE_WATERS, "mpi"),
+]
+
+
+def grid_for(key: str):
+    return P.TABLE7[key.split(" (")[0]]
+
+
+def test_table09(benchmark):
+    widths = (10, 9, 7, 7, 8, 9, 7, 7, 8)
+    lines = ["Tables 7 & 9 — strong scaling of one RK3 timestep", ""]
+    lines.append("Table 7 grids:")
+    for system, (nx, ny, nz) in P.TABLE7.items():
+        dof = 3 * (nx // 2) * (nz - 1) * ny
+        lines.append(f"  {system:12s} {nx:>6} x {ny:>5} x {nz:>6}  ({dof / 1e9:6.1f}e9 DOF)")
+    lines.append("")
+
+    efficiencies = {}
+    for key, mach, mode in CASES:
+        model = TimestepModel(mach, *grid_for(key))
+        lines.append(f"{key}:")
+        lines.append(
+            fmt_row(
+                ("cores", "T mod", "F mod", "A mod", "tot mod", "T pap", "F pap", "A pap",
+                 "tot pap"),
+                widths,
+            )
+        )
+        cores_list = sorted(P.TABLE9[key])
+        base = None
+        for cores in cores_list:
+            s = model.section_times(ParallelLayout(mach, cores, mode=mode))
+            paper = P.TABLE9[key][cores]
+            if base is None:
+                base = (cores, s.total)
+            lines.append(
+                fmt_row(
+                    (
+                        f"{cores:,}",
+                        f"{s.transpose:.2f}",
+                        f"{s.fft:.2f}",
+                        f"{s.advance:.2f}",
+                        f"{s.total:.2f}",
+                        paper[0],
+                        paper[1],
+                        paper[2],
+                        paper[3],
+                    ),
+                    widths,
+                )
+            )
+        eff = base[1] * base[0] / (
+            model.section_times(ParallelLayout(mach, cores_list[-1], mode=mode)).total
+            * cores_list[-1]
+        )
+        efficiencies[key] = eff
+        lines.append(f"  strong-scaling efficiency at {cores_list[-1]:,} cores: {eff:.0%}")
+        lines.append("")
+    emit("table09_strong_scaling", "\n".join(lines))
+
+    # golden-shape assertions (paper §5.1)
+    assert efficiencies["Mira (MPI)"] > 0.85  # paper: 97%
+    assert 0.60 < efficiencies["Mira (Hybrid)"] < 1.0  # paper headline: ~80%... vs 65K
+    assert efficiencies["Blue Waters"] < 0.45  # paper: 28%
+    assert efficiencies["Lonestar"] > 0.85
+
+    # every modelled entry within 2x of the paper's measurement
+    for key, mach, mode in CASES:
+        model = TimestepModel(mach, *grid_for(key))
+        for cores, row in P.TABLE9[key].items():
+            s = model.section_times(ParallelLayout(mach, cores, mode=mode))
+            for mv, pv in zip(s.as_tuple(), row):
+                assert 0.5 < mv / pv < 2.0, (key, cores)
+
+    # measured kernel: one real distributed timestep on SimMPI ranks
+    cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.3, seed=1)
+
+    def one_step(comm):
+        dns = DistributedChannelDNS(comm, cfg, pa=2, pb=2)
+        dns.initialize()
+        dns.run(1)
+        return True
+
+    benchmark(lambda: run_spmd(4, one_step))

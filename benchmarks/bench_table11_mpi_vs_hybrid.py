@@ -1,0 +1,89 @@
+"""Table 11 — MPI-everywhere vs hybrid MPI+OpenMP on Mira.
+
+§5.3: "using only MPI results in sixteen times more MPI tasks that issue
+256 times more messages that are 256 times smaller"; hybrid wins by
+1.1-1.2x until the largest core count, where both saturate the torus and
+the ratio returns to 1.  The model regenerates both the strong- and
+weak-scaling comparison; the message-count arithmetic is verified
+exactly from the communicator geometry, and the §5.3 aggregate flop
+headline is reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.machine import MIRA
+from repro.perfmodel.timestep import ParallelLayout, TimestepModel
+
+from conftest import emit, fmt_row
+
+
+def test_table11(benchmark):
+    strong = TimestepModel(MIRA, *P.TABLE7["Mira"])
+    nxs, ny, nz = P.TABLE8["Mira"]
+
+    widths = (10, 10, 10, 7, 10, 10, 7)
+    lines = [
+        "Table 11 — MPI vs Hybrid on Mira (total seconds per timestep)",
+        "",
+        "strong scaling:",
+        fmt_row(("cores", "MPI mod", "Hyb mod", "ratio", "MPI pap", "Hyb pap", "ratio"),
+                widths),
+    ]
+    model_ratios = {}
+    for cores, (pm, ph) in sorted(P.TABLE11_STRONG.items()):
+        mpi = strong.section_times(ParallelLayout(MIRA, cores, mode="mpi")).total
+        hyb = strong.section_times(ParallelLayout(MIRA, cores, mode="hybrid")).total
+        model_ratios[cores] = mpi / hyb
+        lines.append(
+            fmt_row(
+                (f"{cores:,}", f"{mpi:.2f}", f"{hyb:.2f}", f"{mpi / hyb:.2f}",
+                 pm, ph, f"{pm / ph:.2f}"),
+                widths,
+            )
+        )
+    lines += ["", "weak scaling:", fmt_row(
+        ("cores", "MPI mod", "Hyb mod", "ratio", "MPI pap", "Hyb pap", "ratio"), widths)]
+    for (cores, (pm, ph)), nx in zip(sorted(P.TABLE11_WEAK.items()), nxs):
+        model = TimestepModel(MIRA, nx, ny, nz)
+        mpi = model.section_times(ParallelLayout(MIRA, cores, mode="mpi")).total
+        hyb = model.section_times(ParallelLayout(MIRA, cores, mode="hybrid")).total
+        lines.append(
+            fmt_row(
+                (f"{cores:,}", f"{mpi:.2f}", f"{hyb:.2f}", f"{mpi / hyb:.2f}",
+                 pm, ph, f"{pm / ph:.2f}"),
+                widths,
+            )
+        )
+
+    # §5.3 message arithmetic, exact from the layouts
+    cores = 131072
+    lay_mpi = ParallelLayout(MIRA, cores, mode="mpi")
+    lay_hyb = ParallelLayout(MIRA, cores, mode="hybrid")
+    task_ratio = lay_mpi.tasks / lay_hyb.tasks
+    msg_mpi = lay_mpi.tasks * (lay_mpi.comm_a_size - 1 + lay_mpi.comm_b_size - 1)
+    msg_hyb = lay_hyb.tasks * (lay_hyb.comm_a_size - 1 + lay_hyb.comm_b_size - 1)
+    lines += [
+        "",
+        f"§5.3 arithmetic at {cores:,} cores: MPI has {task_ratio:.0f}x more tasks and",
+        f"{msg_mpi / msg_hyb:.0f}x more messages per transpose "
+        "(paper: 16x tasks, 256x messages)",
+    ]
+
+    agg = strong.aggregate_flops(ParallelLayout(MIRA, 786432, mode="hybrid"))
+    lines += [
+        "",
+        f"aggregate at 786K cores: {agg['total_flops'] / 1e12:.0f} TF "
+        f"({agg['peak_fraction']:.1%} of peak); on-node "
+        f"{agg['on_node_flops'] / 1e12:.0f} TF   [paper: 271 TF / 2.7% / 906 TF]",
+    ]
+    emit("table11_mpi_vs_hybrid", "\n".join(lines))
+
+    # golden shapes
+    assert model_ratios[131072] > 1.05  # hybrid wins mid-scale
+    assert abs(model_ratios[786432] - 1.0) < 0.06  # convergence at 786K
+    assert task_ratio == 16.0
+    assert 200 < msg_mpi / msg_hyb < 300  # the famous 256x
+    assert 0.015 < agg["peak_fraction"] < 0.055
+
+    benchmark(lambda: strong.section_times(ParallelLayout(MIRA, 786432, mode="hybrid")))

@@ -1,0 +1,61 @@
+"""Distributed channel DNS on the pencil decomposition (SimMPI ranks).
+
+Runs the same physical problem twice — once with the serial driver, once
+distributed over a 2 x 2 process grid — and verifies the trajectories
+agree to round-off, then reports the per-rank section timers (the
+Transpose / FFT / N-S advance breakdown of the paper's Tables 9-10).
+
+Run:  python examples/distributed_dns.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ChannelConfig, ChannelDNS, DistributedChannelDNS, run_spmd
+
+CFG = ChannelConfig(nx=32, ny=33, nz=32, re_tau=180.0, dt=2e-4, init_amplitude=0.4, seed=3)
+NSTEPS = 10
+PA, PB = 2, 2
+
+
+def worker(comm):
+    dns = DistributedChannelDNS(comm, CFG, pa=PA, pb=PB)
+    dns.initialize()
+    t0 = time.perf_counter()
+    dns.run(NSTEPS)
+    elapsed = time.perf_counter() - t0
+    full = dns.gather_state()
+    return full, dns.divergence_norm(), dict(dns.timers.elapsed), elapsed
+
+
+def main() -> None:
+    print(f"serial reference: {NSTEPS} steps of {CFG.nx} x {CFG.ny} x {CFG.nz} ...")
+    serial = ChannelDNS(CFG)
+    serial.initialize()
+    t0 = time.perf_counter()
+    serial.run(NSTEPS)
+    t_serial = time.perf_counter() - t0
+    print(f"  {t_serial:.2f} s\n")
+
+    print(f"distributed run on {PA} x {PB} simulated MPI ranks ...")
+    results = run_spmd(PA * PB, worker)
+    full, div, timers, t_par = results[0]
+
+    print(f"  {t_par:.2f} s (threads share one interpreter — no speedup expected)\n")
+    print("parity with the serial trajectory:")
+    print(f"  max |v - v_serial|        = {np.abs(full.v - serial.state.v).max():.3e}")
+    print(f"  max |omega - omega_serial| = "
+          f"{np.abs(full.omega_y - serial.state.omega_y).max():.3e}")
+    print(f"  max |U00 - U00_serial|    = {np.abs(full.u00 - serial.state.u00).max():.3e}")
+    print(f"  global divergence          = {div:.3e}\n")
+
+    total = sum(timers.values())
+    print("rank-0 section breakdown (paper Tables 9-10 categories):")
+    for name in ("transpose", "fft", "ns_advance"):
+        t = timers.get(name, 0.0)
+        print(f"  {name:12s} {t:8.3f} s  ({t / total:5.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no `wheel` package and no network, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable; this shim
+lets `setup.py develop` handle it.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Petascale Direct Numerical Simulation of
+Turbulent Channel Flow on up to 786K Cores" (Lee, Malaya & Moser, SC13).
+
+The package provides four layers:
+
+* the spectral channel DNS itself (:mod:`repro.core`): Kim–Moin–Moser
+  formulation, Fourier x/z + 7th-degree B-spline collocation in y,
+  RK3 IMEX time advance, statistics;
+* the substrates it stands on: B-splines (:mod:`repro.bsplines`), the
+  custom corner-banded solver (:mod:`repro.linalg`), Nyquist-free FFTs
+  with 3/2 dealiasing (:mod:`repro.fft`);
+* the parallel machinery: a simulated MPI (:mod:`repro.mpi`), pencil
+  decomposition with global transposes, the customized parallel FFT and
+  a P3DFFT-like baseline, and a distributed DNS driver
+  (:mod:`repro.pencil`);
+* calibrated machine models of the paper's four benchmark systems that
+  regenerate its performance tables (:mod:`repro.perfmodel`), plus
+  statistics references and field visualisation (:mod:`repro.stats`).
+
+Quickstart::
+
+    from repro import ChannelConfig, ChannelDNS
+    dns = ChannelDNS(ChannelConfig(nx=32, ny=33, nz=32, re_tau=180.0, dt=2e-4))
+    dns.initialize()
+    dns.run(100, sample_every=10)
+    yplus, uplus = dns.statistics.wall_units(dns.config.nu)
+"""
+
+from repro.core import ChannelConfig, ChannelDNS, ChannelGrid, RunningStatistics
+from repro.mpi import run_spmd
+from repro.pencil import P3DFFTBaseline, PencilTransforms
+from repro.pencil.distributed import DistributedChannelDNS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelConfig",
+    "ChannelDNS",
+    "ChannelGrid",
+    "DistributedChannelDNS",
+    "P3DFFTBaseline",
+    "PencilTransforms",
+    "RunningStatistics",
+    "run_spmd",
+    "__version__",
+]

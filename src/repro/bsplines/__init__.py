@@ -1,0 +1,36 @@
+"""B-spline substrate for the wall-normal (y) direction.
+
+The paper represents the velocity in y with 7th-degree basis splines
+(B-splines), "selected for their excellent error characteristics as well
+as a straightforward formulation using the recursive relation of DeBoor"
+(section 2).  This subpackage provides:
+
+* clamped knot vectors with optional wall-clustering stretch
+  (:mod:`repro.bsplines.knots`),
+* de Boor evaluation of basis functions and derivatives
+  (:mod:`repro.bsplines.basis`),
+* Greville collocation points and banded collocation matrices
+  (:mod:`repro.bsplines.collocation`),
+* Gauss quadrature rules exact for splines (:mod:`repro.bsplines.quadrature`),
+* a high-level :class:`~repro.bsplines.spline.BSplineBasis` facade used by
+  the DNS core.
+"""
+
+from repro.bsplines.basis import all_basis_functions, basis_functions, find_span
+from repro.bsplines.collocation import collocation_matrix, greville_points
+from repro.bsplines.knots import channel_breakpoints, clamped_knots, uniform_breakpoints
+from repro.bsplines.quadrature import spline_quadrature
+from repro.bsplines.spline import BSplineBasis
+
+__all__ = [
+    "BSplineBasis",
+    "all_basis_functions",
+    "basis_functions",
+    "channel_breakpoints",
+    "clamped_knots",
+    "collocation_matrix",
+    "find_span",
+    "greville_points",
+    "spline_quadrature",
+    "uniform_breakpoints",
+]

@@ -1,0 +1,152 @@
+"""de Boor recursion for B-spline basis functions and their derivatives.
+
+These are the textbook algorithms (de Boor 1978; Piegl & Tiller A2.2/A2.3)
+written against a clamped knot vector.  They return only the ``degree+1``
+basis functions that are non-zero at the evaluation point, together with
+the knot *span* locating them, which is what the banded collocation matrix
+assembly needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def find_span(knots: np.ndarray, degree: int, x: float) -> int:
+    """Index ``i`` such that ``knots[i] <= x < knots[i+1]`` (basis support span).
+
+    For ``x`` equal to the right endpoint the last non-empty span is
+    returned so that evaluation at the wall is well defined.
+    """
+    n = len(knots) - degree - 1  # number of basis functions
+    if x < knots[degree] or x > knots[n]:
+        raise ValueError(f"x={x} outside knot range [{knots[degree]}, {knots[n]}]")
+    if x >= knots[n]:
+        # Right endpoint: clamp into the final non-degenerate span.
+        span = n - 1
+        while knots[span] == knots[span + 1]:
+            span -= 1
+        return span
+    # binary search over the interior knots
+    lo, hi = degree, n
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if x < knots[mid]:
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
+def basis_functions(knots: np.ndarray, degree: int, x: float, span: int | None = None) -> tuple[int, np.ndarray]:
+    """Values of the ``degree+1`` non-zero basis functions at ``x``.
+
+    Returns ``(span, vals)`` with ``vals[j] = B_{span-degree+j}(x)``.
+    """
+    if span is None:
+        span = find_span(knots, degree, x)
+    vals = np.empty(degree + 1)
+    left = np.empty(degree + 1)
+    right = np.empty(degree + 1)
+    vals[0] = 1.0
+    for j in range(1, degree + 1):
+        left[j] = x - knots[span + 1 - j]
+        right[j] = knots[span + j] - x
+        saved = 0.0
+        for r in range(j):
+            denom = right[r + 1] + left[j - r]
+            temp = vals[r] / denom
+            vals[r] = saved + right[r + 1] * temp
+            saved = left[j - r] * temp
+        vals[j] = saved
+    return span, vals
+
+
+def basis_function_derivatives(
+    knots: np.ndarray,
+    degree: int,
+    x: float,
+    nderiv: int,
+    span: int | None = None,
+) -> tuple[int, np.ndarray]:
+    """Values and derivatives of the non-zero basis functions at ``x``.
+
+    Returns ``(span, ders)`` where ``ders[m, j]`` is the ``m``-th derivative
+    of ``B_{span-degree+j}`` at ``x`` for ``m = 0 .. nderiv``.
+
+    This is Piegl & Tiller algorithm A2.3 ("DersBasisFuns").
+    """
+    if span is None:
+        span = find_span(knots, degree, x)
+    p = degree
+    nd = min(nderiv, p)
+    ndu = np.empty((p + 1, p + 1))
+    left = np.empty(p + 1)
+    right = np.empty(p + 1)
+    ndu[0, 0] = 1.0
+    for j in range(1, p + 1):
+        left[j] = x - knots[span + 1 - j]
+        right[j] = knots[span + j] - x
+        saved = 0.0
+        for r in range(j):
+            # lower triangle: knot differences
+            ndu[j, r] = right[r + 1] + left[j - r]
+            temp = ndu[r, j - 1] / ndu[j, r]
+            # upper triangle: basis function values
+            ndu[r, j] = saved + right[r + 1] * temp
+            saved = left[j - r] * temp
+        ndu[j, j] = saved
+
+    ders = np.zeros((nderiv + 1, p + 1))
+    ders[0, :] = ndu[:, p]
+
+    a = np.empty((2, p + 1))
+    for r in range(p + 1):
+        s1, s2 = 0, 1
+        a[0, 0] = 1.0
+        for k in range(1, nd + 1):
+            d = 0.0
+            rk = r - k
+            pk = p - k
+            if r >= k:
+                a[s2, 0] = a[s1, 0] / ndu[pk + 1, rk]
+                d = a[s2, 0] * ndu[rk, pk]
+            j1 = 1 if rk >= -1 else -rk
+            j2 = k - 1 if r - 1 <= pk else p - r
+            for j in range(j1, j2 + 1):
+                a[s2, j] = (a[s1, j] - a[s1, j - 1]) / ndu[pk + 1, rk + j]
+                d += a[s2, j] * ndu[rk + j, pk]
+            if r <= pk:
+                a[s2, k] = -a[s1, k - 1] / ndu[pk + 1, r]
+                d += a[s2, k] * ndu[r, pk]
+            ders[k, r] = d
+            s1, s2 = s2, s1
+
+    # multiply through by the factorial factors p! / (p-k)!
+    fac = float(p)
+    for k in range(1, nd + 1):
+        ders[k, :] *= fac
+        fac *= p - k
+    return span, ders
+
+
+def all_basis_functions(
+    knots: np.ndarray,
+    degree: int,
+    x: np.ndarray,
+    nderiv: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate all non-zero basis functions (and derivatives) at many points.
+
+    Returns ``(spans, ders)``: ``spans`` has shape ``(npts,)`` and ``ders``
+    has shape ``(npts, nderiv+1, degree+1)``.
+    """
+    x = np.atleast_1d(np.asarray(x, dtype=float))
+    npts = x.size
+    spans = np.empty(npts, dtype=np.intp)
+    ders = np.empty((npts, nderiv + 1, degree + 1))
+    for i, xi in enumerate(x):
+        span, d = basis_function_derivatives(knots, degree, xi, nderiv)
+        spans[i] = span
+        ders[i] = d
+    return spans, ders

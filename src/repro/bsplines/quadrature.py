@@ -1,0 +1,29 @@
+"""Gauss quadrature rules that integrate splines exactly.
+
+Statistics of the channel (bulk velocity, energy balance terms) need
+integrals of spline-represented profiles in y.  A Gauss–Legendre rule with
+``ceil((degree+1)/2)`` points per knot interval integrates any spline of
+the basis degree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spline_quadrature(breakpoints: np.ndarray, degree: int) -> tuple[np.ndarray, np.ndarray]:
+    """Composite Gauss–Legendre rule exact for piecewise degree-``degree`` polynomials.
+
+    Returns ``(points, weights)`` over the whole breakpoint range.
+    """
+    breakpoints = np.asarray(breakpoints, dtype=float)
+    ngauss = (degree + 2) // 2  # exact for polynomials of degree <= 2*ngauss - 1
+    gx, gw = np.polynomial.legendre.leggauss(ngauss)
+    pts = []
+    wts = []
+    for a, b in zip(breakpoints[:-1], breakpoints[1:]):
+        half = 0.5 * (b - a)
+        mid = 0.5 * (a + b)
+        pts.append(mid + half * gx)
+        wts.append(half * gw)
+    return np.concatenate(pts), np.concatenate(wts)

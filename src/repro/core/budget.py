@@ -1,0 +1,107 @@
+"""Turbulent kinetic energy budget profiles.
+
+The science the paper's dataset feeds (§6 — "the interaction between
+near-wall turbulence and the outer flow") is studied through budget
+terms.  This module computes the two leading ones from a spectral state:
+
+* **production** ``P(y) = -<u'v'> dU/dy`` — energy extracted from the
+  mean shear by the Reynolds stress,
+* **(pseudo-)dissipation** ``eps(y) = nu <du'_i/dx_j du'_i/dx_j>`` —
+  all nine fluctuating velocity gradients, computed spectrally (x and z
+  derivatives by ik, y derivatives by the B-spline operator),
+
+plus the mean-flow dissipation ``nu (dU/dy)²``.  Global balance: at
+statistical stationarity the forcing power equals total dissipation,
+``F * U_bulk * 2 = integral(eps + nu (dU/dy)²) dy`` — exact for laminar
+flow and a convergence diagnostic for turbulent runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import ChannelGrid
+from repro.core.operators import WallNormalOps
+from repro.core.statistics import mode_weights, plane_covariance
+from repro.core.timestepper import ChannelState
+
+
+class EnergyBudget:
+    """Accumulates time-averaged production/dissipation profiles."""
+
+    def __init__(self, grid: ChannelGrid) -> None:
+        self.grid = grid
+        self.ops = WallNormalOps(grid)
+        self.nsamples = 0
+        ny = grid.ny
+        self._production = np.zeros(ny)
+        self._dissipation = np.zeros(ny)
+        self._mean_dissipation = np.zeros(ny)
+
+    # ------------------------------------------------------------------
+
+    def sample(self, state: ChannelState, nu: float) -> None:
+        g, ops = self.grid, self.ops
+        m = g.modes
+        w = mode_weights(g)[..., None]
+
+        u_vals = ops.values(state.u)
+        v_vals = ops.values(state.v)
+        w_vals = ops.values(state.w)
+
+        # mean shear and production
+        dudy_mean = ops.dvalues(state.u00)
+        uv = plane_covariance(g, u_vals, v_vals)
+        self._production += -uv * dudy_mean
+
+        # fluctuating gradient tensor, component by component
+        eps = np.zeros(g.ny)
+        for coeffs, vals in ((state.u, u_vals), (state.v, v_vals), (state.w, w_vals)):
+            dx = m.ikx * vals
+            dz = m.ikz * vals
+            dy = ops.dvalues(coeffs)
+            for grad in (dx, dz, dy):
+                sq = (np.abs(grad) ** 2 * w).copy()
+                sq[0, 0] = 0.0  # exclude the mean flow
+                eps += sq.sum(axis=(0, 1))
+        self._dissipation += nu * eps
+
+        self._mean_dissipation += nu * dudy_mean**2
+        self.nsamples += 1
+
+    # ------------------------------------------------------------------
+
+    def _avg(self, acc: np.ndarray) -> np.ndarray:
+        if self.nsamples == 0:
+            raise RuntimeError("no samples accumulated")
+        return acc / self.nsamples
+
+    def production(self) -> np.ndarray:
+        """``P(y)`` over the collocation points."""
+        return self._avg(self._production)
+
+    def dissipation(self) -> np.ndarray:
+        """Fluctuation pseudo-dissipation ``eps(y)``."""
+        return self._avg(self._dissipation)
+
+    def mean_dissipation(self) -> np.ndarray:
+        """Mean-profile dissipation ``nu (dU/dy)²``."""
+        return self._avg(self._mean_dissipation)
+
+    # ------------------------------------------------------------------
+
+    def integrated(self, profile: np.ndarray) -> float:
+        """Wall-to-wall integral of a collocated profile."""
+        return float(self.grid.basis.collocation_weights @ profile)
+
+    def balance_residual(self, forcing: float, bulk_velocity: float) -> float:
+        """Relative global imbalance ``1 - total dissipation / forcing power``.
+
+        Zero at exact statistical stationarity (and exactly zero for
+        laminar Poiseuille flow).
+        """
+        power_in = forcing * bulk_velocity * 2.0  # F * integral(U) dy
+        diss = self.integrated(self.dissipation() + self.mean_dissipation())
+        if power_in == 0.0:
+            return np.inf if diss else 0.0
+        return 1.0 - diss / power_in

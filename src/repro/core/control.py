@@ -1,0 +1,90 @@
+"""Run-time controllers: adaptive time step and constant mass flux.
+
+Two controls every production channel code carries:
+
+* :class:`CFLController` — keeps the advective CFL number inside a
+  target band by rescaling dt.  Changing dt means refactoring the
+  implicit banded systems (the paper's code refactors per step anyway);
+  the controller therefore moves dt only when the CFL leaves the band,
+  and by bounded factors, so refactorization stays rare.
+* :class:`MassFluxController` — the paper drives the flow with a fixed
+  mean pressure gradient (fixing u_tau and hence Re_tau); the common
+  alternative fixes the bulk velocity instead and lets the pressure
+  gradient float.  This proportional-integral controller adjusts the
+  forcing toward a target bulk velocity — forcing is an explicit scalar,
+  so no refactorization is needed.
+
+Controllers are callables applied after each step:
+``dns.run(n, controllers=[ctrl])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CFLController:
+    """Keep the CFL number within ``[low, high]`` around a target."""
+
+    target: float = 0.8
+    low: float = 0.5
+    high: float = 1.2
+    min_dt: float = 1e-7
+    max_dt: float = 1.0
+    max_change: float = 2.0  # largest single rescale factor
+    #: number of dt changes performed (diagnostic)
+    adjustments: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.low < self.high):
+            raise ValueError("need 0 < low < high")
+        if not self.low <= self.target <= self.high:
+            raise ValueError("target must lie inside [low, high]")
+
+    def __call__(self, dns) -> None:
+        cfl = dns.cfl_number()
+        if cfl <= 0.0 or self.low <= cfl <= self.high:
+            return
+        factor = np.clip(self.target / cfl, 1.0 / self.max_change, self.max_change)
+        new_dt = float(np.clip(dns.stepper.dt * factor, self.min_dt, self.max_dt))
+        if new_dt != dns.stepper.dt:
+            dns.stepper.set_dt(new_dt)
+            self.adjustments += 1
+
+
+@dataclass
+class MassFluxController:
+    """Proportional-integral control of the forcing toward a bulk velocity.
+
+    ``target`` is the bulk (volume-averaged streamwise) velocity; the
+    controller nudges ``stepper.forcing`` each step.  The integral term
+    removes the steady-state offset a pure proportional control leaves.
+    """
+
+    target: float
+    gain: float = 2.0
+    integral_gain: float = 0.2
+    min_forcing: float = 0.0
+    max_forcing: float = 100.0
+    _integral: float = field(default=0.0, repr=False)
+
+    def __call__(self, dns) -> None:
+        bulk = current_bulk_velocity(dns)
+        err = self.target - bulk
+        self._integral += err * dns.stepper.dt
+        new_forcing = dns.stepper.forcing + self.gain * err * dns.stepper.dt + (
+            self.integral_gain * self._integral
+        )
+        dns.stepper.forcing = float(
+            np.clip(new_forcing, self.min_forcing, self.max_forcing)
+        )
+
+
+def current_bulk_velocity(dns) -> float:
+    """Instantaneous bulk velocity from the mean-mode profile."""
+    w = dns.grid.basis.collocation_weights
+    u00_vals = dns.stepper.ops.values(dns.state.u00)
+    return float(w @ u00_vals) / 2.0

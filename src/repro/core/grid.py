@@ -1,0 +1,147 @@
+"""Channel geometry, spectral grids and wavenumber bookkeeping.
+
+The channel (paper Fig. 1) is periodic in x (streamwise) and z (spanwise)
+with no-slip walls at ``y = ±1`` (lengths in half-widths).  The spectral
+representation is
+
+* ``mx = nx // 2`` streamwise modes ``kx >= 0`` (reality condition used in
+  x, Nyquist dropped),
+* ``mz = nz - 1`` spanwise modes in FFT order (Nyquist dropped),
+* ``ny`` B-spline collocation degrees of freedom in y.
+
+Spectral state arrays are complex with shape ``(mx, mz, ny)`` — y last,
+so banded solves and collocation matmuls act on the contiguous axis.
+The quadrature (dealiased) physical grid is ``(nxq, nzq, ny)`` with
+``nxq = 3 nx / 2``, ``nzq = 3 nz / 2``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.bsplines import BSplineBasis
+from repro.fft.fourier import (
+    complex_modes,
+    fft_wavenumbers,
+    quadrature_points,
+    real_modes,
+    rfft_wavenumbers,
+)
+
+
+class ChannelGrid:
+    """Discretization of the channel domain ``[0,Lx] x [-1,1] x [0,Lz]``."""
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        nz: int,
+        lx: float = 2.0 * np.pi,
+        lz: float = np.pi,
+        degree: int = 7,
+        stretch: float = 2.0,
+    ) -> None:
+        if nx % 2 or nz % 2:
+            raise ValueError("nx and nz must be even (real/complex FFT pairs)")
+        self.nx, self.ny, self.nz = int(nx), int(ny), int(nz)
+        self.lx, self.lz = float(lx), float(lz)
+        self.basis = BSplineBasis(ny, degree=degree, stretch=stretch, domain=(-1.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # spectral shape
+    # ------------------------------------------------------------------
+
+    @property
+    def mx(self) -> int:
+        """Stored streamwise modes (kx = 0 .. nx/2 - 1)."""
+        return real_modes(self.nx)
+
+    @property
+    def mz(self) -> int:
+        """Stored spanwise modes (FFT order, Nyquist-free)."""
+        return complex_modes(self.nz)
+
+    @property
+    def spectral_shape(self) -> tuple[int, int, int]:
+        return (self.mx, self.mz, self.ny)
+
+    @property
+    def nxq(self) -> int:
+        """Dealiased (3/2-rule) streamwise quadrature points."""
+        return quadrature_points(self.nx)
+
+    @property
+    def nzq(self) -> int:
+        """Dealiased (3/2-rule) spanwise quadrature points."""
+        return quadrature_points(self.nz)
+
+    @property
+    def quadrature_shape(self) -> tuple[int, int, int]:
+        return (self.nxq, self.nzq, self.ny)
+
+    def degrees_of_freedom(self) -> int:
+        """Velocity degrees of freedom, as the paper counts them (3 components)."""
+        return 3 * self.mx * self.mz * self.ny
+
+    # ------------------------------------------------------------------
+    # wavenumbers
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def modes(self) -> "ModeSet":
+        """The full (serial) mode set of this grid."""
+        from repro.core.modes import ModeSet
+
+        return ModeSet(kx=self.kx, kz=self.kz)
+
+    @cached_property
+    def kx(self) -> np.ndarray:
+        return rfft_wavenumbers(self.nx, self.lx)
+
+    @cached_property
+    def kz(self) -> np.ndarray:
+        return fft_wavenumbers(self.nz, self.lz)
+
+    @cached_property
+    def ksq(self) -> np.ndarray:
+        """``kx² + kz²`` on the (mx, mz) mode grid."""
+        return self.kx[:, None] ** 2 + self.kz[None, :] ** 2
+
+    @cached_property
+    def ikx(self) -> np.ndarray:
+        """``i kx`` broadcastable over spectral state arrays."""
+        return (1j * self.kx)[:, None, None]
+
+    @cached_property
+    def ikz(self) -> np.ndarray:
+        """``i kz`` broadcastable over spectral state arrays."""
+        return (1j * self.kz)[None, :, None]
+
+    # ------------------------------------------------------------------
+    # physical coordinates
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def x(self) -> np.ndarray:
+        """Quadrature-grid streamwise coordinates."""
+        return np.arange(self.nxq) * self.lx / self.nxq
+
+    @cached_property
+    def z(self) -> np.ndarray:
+        """Quadrature-grid spanwise coordinates."""
+        return np.arange(self.nzq) * self.lz / self.nzq
+
+    @property
+    def y(self) -> np.ndarray:
+        """Wall-normal collocation points (Greville abscissae)."""
+        return self.basis.collocation_points
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChannelGrid(nx={self.nx}, ny={self.ny}, nz={self.nz}, "
+            f"lx={self.lx:.4g}, lz={self.lz:.4g}, "
+            f"dof={self.degrees_of_freedom():,})"
+        )

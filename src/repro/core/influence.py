@@ -1,0 +1,107 @@
+"""Influence-matrix (Green's function) solver for the phi-v system.
+
+The viscous step for ``phi = (d²/dy² - k²) v`` is a second-order Helmholtz
+problem, but its physical boundary conditions live on v: ``v = dv/dy = 0``
+at both walls — four conditions for a fourth-order composite system.  The
+classical decomposition (Kim–Moin–Moser 1987) solves it as the paper's
+"three linear systems per wavenumber":
+
+1. particular Helmholtz solve for phi with homogeneous Dirichlet data,
+2. Poisson-type solve ``(d²/dy² - k²) v_p = phi_p`` with ``v_p(±1) = 0``,
+3. a 2x2 *influence matrix* correction built from two precomputed
+   Green's functions (unit phi at either wall) chosen so the corrected
+   ``v`` also satisfies ``dv/dy(±1) = 0``.
+
+All solves are the custom banded solver batched over the local block of
+wavenumbers (the full grid in serial, one pencil block per rank in
+parallel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operators import WallNormalOps
+from repro.linalg.helmholtz import HelmholtzOperator
+
+
+class InfluenceSolver:
+    """phi/v viscous-step solver for one RK implicit coefficient.
+
+    Parameters
+    ----------
+    ops:
+        Cached collocation matrices of the wall-normal basis.
+    helm:
+        Shared Helmholtz assembly factory.
+    ksq:
+        ``k²`` values of the local wavenumber block (any shape; flattened).
+    c:
+        Implicit weight ``beta_i * nu * dt`` of this substep.
+    """
+
+    def __init__(
+        self,
+        ops: WallNormalOps,
+        helm: HelmholtzOperator,
+        ksq: np.ndarray,
+        c: float,
+    ) -> None:
+        self.ops = ops
+        self.c = float(c)
+        self.ny = helm.basis.n
+        ksq = np.asarray(ksq, dtype=float).ravel()
+        self.nmodes = ksq.size
+
+        self.helm_lu = helm.factor_helmholtz(ksq, self.c)
+        self.poisson_lu = helm.factor_poisson(ksq)
+
+        # Green's functions: unit phi at the upper (+) / lower (-) wall.
+        rhs_plus = np.zeros((self.nmodes, self.ny))
+        rhs_plus[:, -1] = 1.0
+        rhs_minus = np.zeros((self.nmodes, self.ny))
+        rhs_minus[:, 0] = 1.0
+        a_phi_plus = self.helm_lu.solve(rhs_plus)
+        a_phi_minus = self.helm_lu.solve(rhs_minus)
+        self.a_v_plus = self._poisson_with_bc(ops.values(a_phi_plus))
+        self.a_v_minus = self._poisson_with_bc(ops.values(a_phi_minus))
+
+        dplus_lo, dplus_up = ops.wall_derivatives(self.a_v_plus)
+        dminus_lo, dminus_up = ops.wall_derivatives(self.a_v_minus)
+        # Influence matrix M = [[Dv+(+1), Dv-(+1)], [Dv+(-1), Dv-(-1)]]
+        det = dplus_up * dminus_lo - dminus_up * dplus_lo
+        if np.any(np.abs(det) < 1e-300):
+            raise ArithmeticError("singular influence matrix — degenerate Green's functions")
+        self._minv = (
+            np.stack([dminus_lo, -dminus_up, -dplus_lo, dplus_up], axis=-1) / det[..., None]
+        )  # rows of M^{-1}: [[m00, m01], [m10, m11]] flattened
+
+    def _poisson_with_bc(self, phi_values: np.ndarray) -> np.ndarray:
+        """Poisson solve with homogeneous Dirichlet rows enforced on the RHS."""
+        rhs = np.array(phi_values, copy=True)
+        rhs[:, 0] = 0.0
+        rhs[:, -1] = 0.0
+        return self.poisson_lu.solve(rhs)
+
+    # ------------------------------------------------------------------
+
+    def solve(self, rhs_phi: np.ndarray) -> np.ndarray:
+        """Advance: collocated phi right-hand side -> new v coefficients.
+
+        ``rhs_phi`` has y on the last axis and ``nmodes`` leading entries
+        in any shape; boundary rows are overwritten with the homogeneous
+        Dirichlet data of the particular solution.
+        """
+        shape = rhs_phi.shape
+        rhs = rhs_phi.reshape(self.nmodes, self.ny).copy()
+        rhs[:, 0] = 0.0
+        rhs[:, -1] = 0.0
+        a_phi = self.helm_lu.solve(rhs)
+        a_v = self._poisson_with_bc(self.ops.values(a_phi))
+
+        d_lo, d_up = self.ops.wall_derivatives(a_v)
+        m = self._minv
+        c_plus = -(m[:, 0] * d_up + m[:, 1] * d_lo)
+        c_minus = -(m[:, 2] * d_up + m[:, 3] * d_lo)
+        a_v += c_plus[:, None] * self.a_v_plus + c_minus[:, None] * self.a_v_minus
+        return a_v.reshape(shape)

@@ -1,0 +1,55 @@
+"""Wall-normal (spline) operators on batched spectral state arrays.
+
+State arrays are spline *coefficients* shaped ``(mx, mz, ny)`` (y last).
+This module provides the collocated-value views and y-derivatives used
+throughout the core, plus the spectral Laplacian of the KMM equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import ChannelGrid
+
+
+class WallNormalOps:
+    """Cached collocation matrices bound to a grid (shared by solver parts)."""
+
+    def __init__(self, grid: ChannelGrid) -> None:
+        self.grid = grid
+        self.basis = grid.basis
+        self.B = self.basis.colloc_matrix(0)
+        self.D1 = self.basis.colloc_matrix(1)
+        self.D2 = self.basis.colloc_matrix(2)
+
+    # -- coefficient-space operations (batched over leading axes) -------
+
+    def values(self, coeffs: np.ndarray) -> np.ndarray:
+        """Collocated values of spline coefficients."""
+        return coeffs @ self.B.T
+
+    def dvalues(self, coeffs: np.ndarray) -> np.ndarray:
+        """Collocated first-derivative values."""
+        return coeffs @ self.D1.T
+
+    def d2values(self, coeffs: np.ndarray) -> np.ndarray:
+        """Collocated second-derivative values."""
+        return coeffs @ self.D2.T
+
+    def coeffs(self, values: np.ndarray) -> np.ndarray:
+        """Spline coefficients interpolating collocated values."""
+        return self.basis.interpolate(values)
+
+    def laplacian_values(self, coeffs: np.ndarray, ksq: np.ndarray) -> np.ndarray:
+        """Collocated ``(d²/dy² - k²)`` of a spectral coefficient array.
+
+        ``ksq`` broadcasts over the leading axes (``grid.ksq`` shaped
+        ``(mx, mz)`` against state ``(mx, mz, ny)``).
+        """
+        return self.d2values(coeffs) - np.asarray(ksq)[..., None] * self.values(coeffs)
+
+    def wall_derivatives(self, coeffs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """First-derivative values at (y=-1, y=+1), batched."""
+        lower = coeffs @ self.D1[0]
+        upper = coeffs @ self.D1[-1]
+        return lower, upper

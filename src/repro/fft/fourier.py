@@ -1,0 +1,182 @@
+"""Nyquist-free Fourier transforms and 3/2-rule dealiasing helpers.
+
+Conventions
+-----------
+
+* A *real line* of ``N`` points (the streamwise x direction) is
+  represented by ``real_modes(N) = N // 2`` complex coefficients for
+  wavenumbers ``k = 0 .. N/2 - 1``: the Nyquist mode ``N/2`` is dropped
+  (paper §4.4).  Storage-wise this is exactly ``N`` real numbers — the
+  same footprint as the physical line.
+* A *complex line* of ``N`` points (the spanwise z direction, applied
+  after x used up the reality condition) keeps
+  ``complex_modes(N) = N - 1`` coefficients in FFT order
+  ``[0, 1, .., N/2-1, -(N/2-1), .., -1]`` — again Nyquist-free.
+* Coefficients are **mathematical** Fourier coefficients:
+  ``u(x_j) = sum_k uhat_k exp(i k x_j)``; forward transforms divide by
+  the number of points, so coefficients are grid-size independent, which
+  is what makes zero-padding between grids a pure pad/truncate.
+
+The 3/2 rule: products of two fields with ``K`` retained modes need
+``>= 3K`` quadrature points for an alias-free Galerkin integral; padding
+to ``M = 3N/2`` points does exactly that (Orszag 1971).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def real_modes(npoints: int) -> int:
+    """Retained complex modes of a real line (Nyquist dropped)."""
+    _check_even(npoints)
+    return npoints // 2
+
+
+def complex_modes(npoints: int) -> int:
+    """Retained modes of a complex line (Nyquist dropped)."""
+    _check_even(npoints)
+    return npoints - 1
+
+
+def quadrature_points(npoints: int) -> int:
+    """3/2-rule quadrature grid size for a line of ``npoints`` points."""
+    _check_even(npoints)
+    m = (3 * npoints) // 2
+    return m
+
+
+def rfft_wavenumbers(npoints: int, length: float = 2.0 * np.pi) -> np.ndarray:
+    """Wavenumbers ``0 .. N/2-1`` of the stored real-line modes."""
+    k0 = 2.0 * np.pi / length
+    return k0 * np.arange(real_modes(npoints))
+
+
+def fft_wavenumbers(npoints: int, length: float = 2.0 * np.pi) -> np.ndarray:
+    """FFT-ordered wavenumbers of the stored complex-line modes."""
+    k0 = 2.0 * np.pi / length
+    m = complex_modes(npoints)
+    half = npoints // 2  # modes 0..half-1 then -(half-1)..-1
+    return k0 * np.concatenate([np.arange(half), np.arange(-(half - 1), 0)]).astype(float)[:m]
+
+
+def _check_even(npoints: int) -> None:
+    if npoints < 4 or npoints % 2:
+        raise ValueError(f"line length must be even and >= 4, got {npoints}")
+
+
+# ----------------------------------------------------------------------
+# real (x) direction
+# ----------------------------------------------------------------------
+
+
+def forward_r2c(u: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Physical real line -> Nyquist-free spectral coefficients."""
+    n = u.shape[axis]
+    _check_even(n)
+    uh = np.fft.rfft(u, axis=axis) / n
+    sl = [slice(None)] * uh.ndim
+    sl[axis] = slice(0, n // 2)
+    return np.ascontiguousarray(uh[tuple(sl)])
+
+
+def inverse_c2r(uh: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Nyquist-free spectral coefficients -> physical real line of ``npoints``."""
+    m = uh.shape[axis]
+    if npoints // 2 < m:
+        raise ValueError(f"cannot fit {m} modes into {npoints} points")
+    return np.fft.irfft(uh * npoints, n=npoints, axis=axis)
+
+
+def pad_for_quadrature_r(uh: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Step (e): zero-pad stored x modes for the 3/2 quadrature grid.
+
+    Returns the padded *spectral* array sized for ``irfft`` on
+    ``quadrature_points(npoints)`` points (``3N/4 + 1`` complex entries).
+    """
+    m = uh.shape[axis]
+    if m != real_modes(npoints):
+        raise ValueError(f"expected {real_modes(npoints)} stored modes, got {m}")
+    mq = quadrature_points(npoints) // 2 + 1
+    shape = list(uh.shape)
+    shape[axis] = mq
+    out = np.zeros(shape, dtype=complex)
+    sl = [slice(None)] * uh.ndim
+    sl[axis] = slice(0, m)
+    out[tuple(sl)] = uh
+    return out
+
+
+def truncate_from_quadrature_r(uhq: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`pad_for_quadrature_r`: keep the retained modes."""
+    sl = [slice(None)] * uhq.ndim
+    sl[axis] = slice(0, real_modes(npoints))
+    return np.ascontiguousarray(uhq[tuple(sl)])
+
+
+# ----------------------------------------------------------------------
+# complex (z) direction
+# ----------------------------------------------------------------------
+
+
+def forward_c2c(u: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Physical complex line -> Nyquist-free FFT-ordered coefficients."""
+    n = u.shape[axis]
+    _check_even(n)
+    uh = np.fft.fft(u, axis=axis) / n
+    return _drop_nyquist_c(uh, n, axis)
+
+
+def inverse_c2c(uh: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Nyquist-free FFT-ordered coefficients -> physical complex line."""
+    full = _insert_modes_c(uh, npoints, axis)
+    return np.fft.ifft(full * npoints, axis=axis)
+
+
+def pad_for_quadrature_c(uh: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Step (b): zero-pad stored z modes for the 3/2 quadrature grid."""
+    m = uh.shape[axis]
+    if m != complex_modes(npoints):
+        raise ValueError(f"expected {complex_modes(npoints)} stored modes, got {m}")
+    return _insert_modes_c(uh, quadrature_points(npoints), axis)
+
+
+def truncate_from_quadrature_c(uhq: np.ndarray, npoints: int, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`pad_for_quadrature_c`: keep the retained modes."""
+    m = complex_modes(npoints)
+    half = npoints // 2
+    nq = uhq.shape[axis]
+    idx = np.concatenate([np.arange(half), nq + np.arange(-(half - 1), 0)])
+    return np.take(uhq, idx[:m], axis=axis)
+
+
+def _drop_nyquist_c(uh_full: np.ndarray, npoints: int, axis: int) -> np.ndarray:
+    """Remove the Nyquist entry from a full FFT-ordered spectrum."""
+    half = npoints // 2
+    idx = np.concatenate([np.arange(half), np.arange(half + 1, npoints)])
+    return np.take(uh_full, idx, axis=axis)
+
+
+def _insert_modes_c(uh: np.ndarray, npoints: int, axis: int) -> np.ndarray:
+    """Place Nyquist-free FFT-ordered modes into a length-``npoints`` spectrum.
+
+    Positive modes go to the front, negative modes to the back, everything
+    in between (including the Nyquist slot) is zero — this is both the
+    Nyquist re-insertion and the dealiasing pad, depending on ``npoints``.
+    """
+    m = uh.shape[axis]
+    half = (m + 1) // 2  # number of non-negative modes stored
+    if npoints < m + 1:
+        raise ValueError(f"cannot fit {m} modes into {npoints} points")
+    shape = list(uh.shape)
+    shape[axis] = npoints
+    out = np.zeros(shape, dtype=complex)
+    src = [slice(None)] * uh.ndim
+    dst = [slice(None)] * uh.ndim
+    src[axis] = slice(0, half)
+    dst[axis] = slice(0, half)
+    out[tuple(dst)] = uh[tuple(src)]
+    src[axis] = slice(half, m)
+    dst[axis] = slice(npoints - (m - half), npoints)
+    out[tuple(dst)] = uh[tuple(src)]
+    return out

@@ -1,0 +1,58 @@
+"""Section timers mirroring the paper's per-timestep breakdown.
+
+The benchmarks of Tables 9-10 report elapsed time split into
+``Transpose`` / ``FFT`` / ``N-S time advance`` (plus Total).  Both the
+serial and the distributed drivers instrument themselves with a
+:class:`SectionTimers` so the same breakdown can be printed for any run.
+The paper used ``MPI_wtime``; we use :func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class SectionTimers:
+    """Named cumulative wall-clock timers."""
+
+    #: canonical section names used by the drivers
+    TRANSPOSE = "transpose"
+    FFT = "fft"
+    ADVANCE = "ns_advance"
+    NONLINEAR = "nonlinear_products"
+    REORDER = "reorder"
+
+    def __init__(self) -> None:
+        self.elapsed: dict[str, float] = defaultdict(float)
+        self.calls: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def section(self, name: str):
+        """Time a ``with``-block under ``name`` (cumulative)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed[name] += time.perf_counter() - t0
+            self.calls[name] += 1
+
+    def total(self) -> float:
+        return sum(self.elapsed.values())
+
+    def reset(self) -> None:
+        self.elapsed.clear()
+        self.calls.clear()
+
+    def report(self) -> str:
+        """Table-9-style one-liner: per-section seconds plus total."""
+        parts = [f"{k}={v:.4f}s" for k, v in sorted(self.elapsed.items())]
+        parts.append(f"total={self.total():.4f}s")
+        return "  ".join(parts)
+
+    def merge(self, other: "SectionTimers") -> None:
+        for k, v in other.elapsed.items():
+            self.elapsed[k] += v
+        for k, v in other.calls.items():
+            self.calls[k] += v

@@ -1,0 +1,202 @@
+"""The customized banded solver (paper §4.1.1, Fig. 3 right panel).
+
+No-pivot LU factorization and triangular solves on the folded row-window
+storage of :class:`~repro.linalg.structure.FoldedBanded`.  The factor and
+both sweeps are *batched* over a leading axis — in the production DNS the
+batch axis is the Fourier wavenumber, so one call factors/solves the
+Helmholtz systems for every ``(kx, kz)`` at once.  That batching is the
+NumPy analogue of the paper's hand-unrolled, cache-resident inner loops:
+Python-level loop trip counts depend only on ``n`` and the bandwidth, not
+on the batch size.
+
+Complex right-hand sides are solved directly against the **real** factors
+(one mixed real*complex sweep), the optimisation the paper contrasts with
+LAPACK's "promote the matrix to complex or split the vectors" choices.
+
+No pivoting is performed: B-spline collocation matrices of the
+(shifted) Helmholtz operators are strongly diagonally dominant within the
+band, the same property the paper's custom solver relies on.  A growth
+check is available for diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.structure import BandedSystemSpec, FoldedBanded
+
+
+class FoldedLU:
+    """Batched no-pivot LU of corner-banded matrices in folded storage.
+
+    Factoring is done once at construction; :meth:`solve` may then be
+    called repeatedly (the DNS factors once per RK coefficient and solves
+    every substep).
+    """
+
+    def __init__(self, matrix: FoldedBanded, check: bool = False) -> None:
+        self.spec = matrix.spec
+        self.jlo = matrix.spec.jlo
+        self.data = matrix.data.copy()
+        self._factor(check=check)
+
+    # ------------------------------------------------------------------
+
+    def _factor(self, check: bool) -> None:
+        spec = self.spec
+        n, W = spec.n, spec.window
+        jlo = self.jlo
+        data = self.data
+        # Per-row window position of the diagonal element.
+        self._mdiag = np.arange(n) - jlo
+        if check:
+            self._initial_max = np.abs(data).max(axis=(1, 2))
+
+        for i in range(1, n):
+            lo_i = jlo[i]
+            for j in range(lo_i, i):
+                m = j - lo_i
+                mj = j - jlo[j]
+                pivot = data[:, j, mj]
+                if np.any(pivot == 0.0):
+                    bad = int(np.argmax(pivot == 0.0))
+                    raise ZeroDivisionError(
+                        f"zero pivot at row {j} of batch member {bad}; "
+                        "the matrix needs pivoting — not a collocation system?"
+                    )
+                ell = data[:, i, m] / pivot
+                data[:, i, m] = ell
+                src = data[:, j, mj + 1 :]
+                if src.shape[1]:
+                    data[:, i, m + 1 : m + 1 + src.shape[1]] -= ell[:, None] * src
+
+        if check:
+            growth = np.abs(data).max(axis=(1, 2)) / self._initial_max
+            self.growth_factor = growth
+        else:
+            self.growth_factor = None
+
+    # ------------------------------------------------------------------
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for each batch member.
+
+        ``rhs`` has shape ``(nbatch, n)`` (or ``(n,)`` for a batch of one)
+        and may be real or complex; complex input is swept directly
+        against the real factors.
+        """
+        spec = self.spec
+        n = spec.n
+        jlo = self.jlo
+        data = self.data
+        mdiag = self._mdiag
+
+        rhs = np.asarray(rhs)
+        squeeze = rhs.ndim == 1
+        if squeeze:
+            rhs = rhs[None, :]
+        if rhs.shape != (data.shape[0], n):
+            raise ValueError(
+                f"rhs shape {rhs.shape} does not match (nbatch={data.shape[0]}, n={n})"
+            )
+        dtype = np.result_type(rhs.dtype, data.dtype)
+        x = rhs.astype(dtype, copy=True)
+
+        # Forward sweep (unit lower triangular, row-oriented).
+        for i in range(1, n):
+            lo = jlo[i]
+            m = mdiag[i]
+            if m:
+                x[:, i] -= np.einsum("bm,bm->b", data[:, i, :m], x[:, lo : lo + m])
+
+        # Backward sweep (upper triangular).
+        W = spec.window
+        for i in range(n - 1, -1, -1):
+            m = mdiag[i]
+            hi = jlo[i] + W  # one past last stored column of row i
+            ncols = min(hi, n) - (i + 1)
+            if ncols > 0:
+                x[:, i] -= np.einsum(
+                    "bm,bm->b", data[:, i, m + 1 : m + 1 + ncols], x[:, i + 1 : i + 1 + ncols]
+                )
+            x[:, i] /= data[:, i, m]
+        return x[0] if squeeze else x
+
+    # ------------------------------------------------------------------
+    # operation accounting (used by the perf model / Table 1 commentary)
+    # ------------------------------------------------------------------
+
+    def factor_flops(self) -> int:
+        """Multiply-add count of one (non-batched) factorization."""
+        spec, jlo = self.spec, self.jlo
+        total = 0
+        for i in range(1, spec.n):
+            for j in range(jlo[i], i):
+                width = jlo[j] + spec.window - 1 - j  # updated entries
+                total += 2 * (width + 1)
+        return total
+
+    def solve_flops(self) -> int:
+        """Multiply-add count of one (non-batched, real-RHS) solve."""
+        spec, jlo, mdiag = self.spec, self.jlo, self._mdiag
+        total = 0
+        for i in range(spec.n):
+            total += 2 * mdiag[i]  # forward
+            hi = min(jlo[i] + spec.window, spec.n)
+            total += 2 * max(0, hi - (i + 1)) + 1  # backward + divide
+        return int(total)
+
+
+def solve_corner_banded(
+    dense: np.ndarray,
+    rhs: np.ndarray,
+    spec: BandedSystemSpec | None = None,
+) -> np.ndarray:
+    """Convenience one-shot solve of (batched) dense corner-banded systems.
+
+    Infers a pure-band spec when none is given.
+    """
+    dense = np.asarray(dense, dtype=float)
+    single = dense.ndim == 2
+    if single:
+        dense = dense[None]
+    if spec is None:
+        spec = infer_spec(dense)
+    lu = FoldedLU(FoldedBanded.from_dense(dense, spec))
+    out = lu.solve(rhs if not single or np.asarray(rhs).ndim > 1 else np.asarray(rhs)[None])
+    return out[0] if single and np.asarray(rhs).ndim == 1 else out
+
+
+def infer_spec(dense: np.ndarray) -> BandedSystemSpec:
+    """Smallest pure-band + corner structure containing all non-zeros.
+
+    Measures the interior bandwidth from rows away from the boundaries and
+    charges whatever sticks out near the boundaries to the corner extent.
+    """
+    dense = np.asarray(dense)
+    if dense.ndim == 2:
+        dense = dense[None]
+    n = dense.shape[1]
+    nz = np.any(dense != 0.0, axis=0)
+    i_idx, j_idx = np.nonzero(nz)
+    if i_idx.size == 0:
+        return BandedSystemSpec(n=n, kl=0, ku=0)
+    off = j_idx - i_idx
+    # Interior band: offsets of elements at least a window away from ends.
+    interior = (i_idx > n // 4) & (i_idx < n - n // 4)
+    if np.any(interior):
+        kl = int(max(0, -off[interior].min()))
+        ku = int(max(0, off[interior].max()))
+    else:
+        kl = int(max(0, -off.min()))
+        ku = int(max(0, off.max()))
+    corner = 0
+    for i, j in zip(i_idx, j_idx):
+        if -kl <= j - i <= ku:
+            continue
+        # element beyond the band: must be absorbed by a corner window
+        if i <= j:
+            corner = max(corner, j - i - ku)
+        else:
+            corner = max(corner, i - j - kl)
+    return BandedSystemSpec(n=n, kl=kl, ku=ku, corner=corner)

@@ -1,0 +1,165 @@
+"""Storage structure for "banded + boundary corner" matrices (paper Fig. 3).
+
+A :class:`BandedSystemSpec` describes matrices that are banded with lower
+bandwidth ``kl`` and upper bandwidth ``ku``, except that the first and
+last ``corner_rows`` rows may extend ``corner`` extra columns beyond the
+band (boundary-condition rows of collocation systems).
+
+:class:`FoldedBanded` stores such a (batch of) matrices in the *folded
+row-window* layout: every row occupies a fixed-width window
+
+    ``W = kl + ku + 1 + corner``
+
+starting at column ``jlo[i] = clip(i - kl, 0, n - W)``.  Near the top the
+band would stick out of the matrix, leaving empty slots — the fold reuses
+exactly those slots for the corner elements, reproducing the right-hand
+panel of the paper's figure 3.  The layout is also what no-pivot Gaussian
+elimination preserves: ``jlo`` is non-decreasing, so all fill-in lands
+inside the windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BandedSystemSpec:
+    """Sparsity structure shared by a batch of corner-banded matrices."""
+
+    n: int
+    kl: int
+    ku: int
+    corner: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.kl < 0 or self.ku < 0 or self.corner < 0:
+            raise ValueError("bandwidths must be non-negative")
+        if self.window > self.n:
+            raise ValueError(
+                f"window width {self.window} exceeds matrix dimension {self.n}; "
+                "the matrix is effectively dense — use a dense solver"
+            )
+
+    @property
+    def window(self) -> int:
+        """Fixed row-window width of the folded storage."""
+        return self.kl + self.ku + 1 + self.corner
+
+    @property
+    def jlo(self) -> np.ndarray:
+        """First stored column of each row (non-decreasing)."""
+        i = np.arange(self.n)
+        return np.clip(i - self.kl, 0, self.n - self.window)
+
+    # ------------------------------------------------------------------
+    # memory accounting (for the paper's "memory reduced by half" claim)
+    # ------------------------------------------------------------------
+
+    def folded_storage(self) -> int:
+        """Matrix elements stored by the folded layout."""
+        return self.n * self.window
+
+    def lapack_storage(self) -> int:
+        """Elements a general banded LAPACK factorization (xGBTRF) stores.
+
+        Covering the corners requires padding the bandwidths to
+        ``kl' = kl + corner``, ``ku' = ku + corner``, and xGBTRF wants
+        ``2*kl' + ku' + 1`` rows of workspace for pivoting fill.
+        """
+        klp = self.kl + self.corner
+        kup = self.ku + self.corner
+        return self.n * (2 * klp + kup + 1)
+
+    def contains(self, i: int, j: int) -> bool:
+        """Whether element (i, j) lies inside the stored structure."""
+        lo = self.jlo[i]
+        return lo <= j < lo + self.window
+
+
+class FoldedBanded:
+    """(Batch of) corner-banded matrices in folded row-window storage.
+
+    ``data`` has shape ``(nbatch, n, W)``; ``data[b, i, m]`` is element
+    ``A_b[i, jlo[i] + m]``.  A single matrix is a batch of one.
+    """
+
+    def __init__(self, spec: BandedSystemSpec, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 2:
+            data = data[None]
+        if data.shape[1:] != (spec.n, spec.window):
+            raise ValueError(
+                f"data shape {data.shape} does not match spec "
+                f"(n={spec.n}, window={spec.window})"
+            )
+        self.spec = spec
+        self.data = data
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nbatch(self) -> int:
+        return self.data.shape[0]
+
+    @classmethod
+    def zeros(cls, spec: BandedSystemSpec, nbatch: int = 1) -> "FoldedBanded":
+        return cls(spec, np.zeros((nbatch, spec.n, spec.window)))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, spec: BandedSystemSpec) -> "FoldedBanded":
+        """Pack dense matrices (batched or single) into folded storage.
+
+        Raises if any non-zero falls outside the declared structure.
+        """
+        dense = np.asarray(dense, dtype=float)
+        if dense.ndim == 2:
+            dense = dense[None]
+        nbatch, n, n2 = dense.shape
+        if n != spec.n or n2 != spec.n:
+            raise ValueError(f"dense shape {dense.shape} does not match spec n={spec.n}")
+        jlo = spec.jlo
+        out = np.zeros((nbatch, n, spec.window))
+        for i in range(n):
+            lo = jlo[i]
+            out[:, i, :] = dense[:, i, lo : lo + spec.window]
+            # structure check: everything outside the window must vanish
+            outside = np.abs(dense[:, i, :lo]).max(initial=0.0)
+            outside = max(outside, np.abs(dense[:, i, lo + spec.window :]).max(initial=0.0))
+            if outside > 0.0:
+                raise ValueError(
+                    f"row {i} has non-zeros outside the declared structure "
+                    f"(|value| up to {outside:g}); enlarge kl/ku/corner"
+                )
+        return cls(spec, out)
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to dense ``(nbatch, n, n)``."""
+        spec = self.spec
+        jlo = spec.jlo
+        out = np.zeros((self.nbatch, spec.n, spec.n))
+        for i in range(spec.n):
+            lo = jlo[i]
+            out[:, i, lo : lo + spec.window] = self.data[:, i, :]
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Batched matrix-vector product; ``x`` shaped ``(nbatch, n)`` (or ``(n,)``)."""
+        x = np.asarray(x)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = np.broadcast_to(x, (self.nbatch, self.spec.n))
+        jlo = self.spec.jlo
+        out = np.zeros((self.nbatch, self.spec.n), dtype=np.result_type(self.data, x))
+        W = self.spec.window
+        for i in range(self.spec.n):
+            lo = jlo[i]
+            out[:, i] = np.einsum("bm,bm->b", self.data[:, i, :], x[:, lo : lo + W])
+        return out[0] if squeeze and self.nbatch == 1 else out
+
+    def copy(self) -> "FoldedBanded":
+        return FoldedBanded(self.spec, self.data.copy())

@@ -1,0 +1,284 @@
+"""Thread-backed MPI subset: communicators, collectives, topologies.
+
+Every communicator owns a :class:`_Context` shared by its member
+threads: a reusable barrier, an exchange board for collectives, and
+point-to-point queues.  Collectives follow the deposit / barrier /
+collect / barrier discipline so a board slot is never overwritten before
+every member has read it.  If any rank raises, the barrier is aborted and
+every other rank re-raises a :class:`SimMPIError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+
+class SimMPIError(RuntimeError):
+    """A collective failed (usually because a peer rank raised)."""
+
+
+@dataclass
+class MessageStats:
+    """Traffic accounting, shared by all members of a communicator.
+
+    A list/tuple payload counts one message per element (the chunks of an
+    alltoall are separate wire messages); scalars and arrays count one.
+    """
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, payload: Any) -> None:
+        if isinstance(payload, (list, tuple)):
+            self.messages += len(payload)
+        else:
+            self.messages += 1
+        self.bytes += _payload_bytes(payload)
+
+
+def _payload_bytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_bytes(p) for p in payload)
+    return 0
+
+
+class _Context:
+    """Shared state of one communicator (one instance per comm, not per rank)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.board: list[Any] = [None] * size
+        self.lock = threading.Lock()
+        self.error = threading.Event()
+        self.queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self.stats = MessageStats()
+        self._scratch: dict[str, Any] = {}
+
+    def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.lock:
+            if key not in self.queues:
+                self.queues[key] = queue.Queue()
+            return self.queues[key]
+
+    def sync(self) -> None:
+        if self.error.is_set():
+            raise SimMPIError("a peer rank failed")
+        try:
+            self.barrier.wait()
+        except threading.BrokenBarrierError as exc:
+            raise SimMPIError("a peer rank failed during a collective") from exc
+
+    def abort(self) -> None:
+        self.error.set()
+        self.barrier.abort()
+
+
+class Communicator:
+    """Per-rank handle onto a shared communicator context."""
+
+    def __init__(self, context: _Context, rank: int, world_ranks: Sequence[int]) -> None:
+        self._ctx = context
+        self.rank = rank
+        self.size = context.size
+        #: global (world) rank ids of the members, indexed by local rank
+        self.world_ranks = tuple(world_ranks)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> MessageStats:
+        return self._ctx.stats
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._ctx.sync()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        ctx = self._ctx
+        if self.rank == root:
+            ctx.board[root] = obj
+        ctx.sync()
+        out = ctx.board[root]
+        if self.rank != root:
+            ctx.stats.record(out)
+        ctx.sync()
+        return out
+
+    def allgather(self, obj: Any) -> list[Any]:
+        ctx = self._ctx
+        ctx.board[self.rank] = obj
+        ctx.sync()
+        out = list(ctx.board)
+        ctx.stats.record([o for i, o in enumerate(out) if i != self.rank])
+        ctx.sync()
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        out = self.allgather(obj)
+        return out if self.rank == root else None
+
+    def alltoall(self, chunks: Sequence[Any]) -> list[Any]:
+        """Each rank sends ``chunks[d]`` to rank ``d``; returns what it got.
+
+        Variable-size payloads (alltoallv) are the same call — chunks are
+        arbitrary NumPy arrays.
+        """
+        ctx = self._ctx
+        if len(chunks) != self.size:
+            raise ValueError(f"need {self.size} chunks, got {len(chunks)}")
+        ctx.board[self.rank] = chunks
+        ctx.sync()
+        received = [ctx.board[src][self.rank] for src in range(self.size)]
+        ctx.stats.record([c for d, c in enumerate(chunks) if d != self.rank])
+        ctx.sync()
+        return received
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        vals = self.allgather(value)
+        if op is None:
+            out = vals[0]
+            for v in vals[1:]:
+                out = out + v
+            return out
+        out = vals[0]
+        for v in vals[1:]:
+            out = op(out, v)
+        return out
+
+    def reduce(self, value: Any, op=None, root: int = 0) -> Any | None:
+        out = self.allreduce(value, op)
+        return out if self.rank == root else None
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._ctx.queue_for(self.rank, dest, tag).put(obj)
+        self._ctx.stats.record(obj)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        try:
+            return self._ctx.queue_for(source, self.rank, tag).get(timeout=timeout)
+        except queue.Empty as exc:
+            self._ctx.abort()
+            raise SimMPIError(f"recv from {source} timed out") from exc
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # ------------------------------------------------------------------
+    # communicator construction
+    # ------------------------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """MPI_Comm_split: one sub-communicator per distinct color."""
+        ctx = self._ctx
+        key = self.rank if key is None else key
+        ctx.board[self.rank] = (color, key)
+        ctx.sync()
+        entries = list(ctx.board)  # [(color, key)] indexed by rank
+        ctx.sync()
+        members = sorted(
+            (r for r in range(self.size) if entries[r][0] == color),
+            key=lambda r: (entries[r][1], r),
+        )
+        # Deterministically share fresh contexts: lowest member builds them.
+        with ctx.lock:
+            store = ctx._scratch.setdefault("split", {})
+            gen = ctx._scratch.setdefault("split_gen", [0])[0]
+            key2 = (gen, color)
+            if key2 not in store:
+                store[key2] = _Context(len(members))
+            sub_ctx = store[key2]
+        ctx.sync()
+        if self.rank == 0:
+            with ctx.lock:
+                ctx._scratch["split_gen"][0] += 1
+                ctx._scratch["split"] = {}
+        new_rank = members.index(self.rank)
+        world = [self.world_ranks[m] for m in members]
+        return Communicator(sub_ctx, new_rank, world)
+
+    def cart_create(self, dims: Sequence[int]) -> "CartesianCommunicator":
+        """MPI_Cart_create (periodic flags irrelevant for transposes)."""
+        if int(np.prod(dims)) != self.size:
+            raise ValueError(f"dims {tuple(dims)} do not multiply to size {self.size}")
+        return CartesianCommunicator(self._ctx, self.rank, self.world_ranks, tuple(dims))
+
+
+class CartesianCommunicator(Communicator):
+    """A communicator with an attached cartesian process grid."""
+
+    def __init__(self, context, rank, world_ranks, dims: tuple[int, ...]) -> None:
+        super().__init__(context, rank, world_ranks)
+        self.dims = dims
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's cartesian coordinates (row-major, like MPI)."""
+        return tuple(int(c) for c in np.unravel_index(self.rank, self.dims))
+
+    def cart_sub(self, remain_dims: Sequence[bool]) -> Communicator:
+        """MPI_Cart_sub: keep the dimensions flagged True, split on the rest."""
+        if len(remain_dims) != len(self.dims):
+            raise ValueError("remain_dims length must match dims")
+        coords = self.coords
+        dropped = tuple(c for c, keep in zip(coords, remain_dims) if not keep)
+        kept = tuple(c for c, keep in zip(coords, remain_dims) if keep)
+        kept_dims = tuple(d for d, keep in zip(self.dims, remain_dims) if keep)
+        color = int(np.ravel_multi_index(dropped, tuple(
+            d for d, keep in zip(self.dims, remain_dims) if not keep
+        ))) if dropped else 0
+        key = int(np.ravel_multi_index(kept, kept_dims)) if kept else 0
+        return self.split(color, key)
+
+
+def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any, timeout: float = 120.0) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks; gather returns.
+
+    Exceptions in any rank abort the whole program and re-raise the first
+    failure in the caller.
+    """
+    ctx = _Context(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+
+    def worker(rank: int) -> None:
+        comm = Communicator(ctx, rank, range(nranks))
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+            errors[rank] = exc
+            ctx.abort()
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            ctx.abort()
+            raise SimMPIError("SPMD program timed out (deadlock?)")
+    for exc in errors:
+        if exc is not None and not isinstance(exc, SimMPIError):
+            raise exc
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

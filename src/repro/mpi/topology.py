@@ -1,0 +1,106 @@
+"""Process-grid topology bookkeeping (paper §4.3, Fig. 4).
+
+The pencil decomposition uses a ``PA x PB`` cartesian process grid with
+two sub-communicators obtained via ``MPI_cart_create`` + ``MPI_cart_sub``:
+
+* **CommA** — ranks sharing a B-coordinate (size PA); carries the
+  x <-> z pencil transposes.
+* **CommB** — ranks sharing an A-coordinate (size PB); carries the
+  z <-> y pencil transposes.
+
+The paper's locality observation (Table 5): the code performs best when
+CommB — the *inner*, consecutive-rank communicator — stays within a
+node / switch boundary.  :func:`comm_grid` exposes membership and a
+node-locality measure so benches and tests can reproduce that analysis
+without running ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CommPattern:
+    """Static description of the CommA/CommB structure of a process grid."""
+
+    nranks: int
+    pa: int
+    pb: int
+
+    def __post_init__(self) -> None:
+        if self.pa * self.pb != self.nranks:
+            raise ValueError(f"{self.pa} x {self.pb} != {self.nranks}")
+
+    # MPI_cart_create with dims (pa, pb) is row-major: rank = a * pb + b.
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return divmod(rank, self.pb)
+
+    def comm_a_members(self, rank: int) -> list[int]:
+        """Ranks in the same CommA as ``rank`` (same b coordinate)."""
+        _, b = self.coords(rank)
+        return [a * self.pb + b for a in range(self.pa)]
+
+    def comm_b_members(self, rank: int) -> list[int]:
+        """Ranks in the same CommB as ``rank`` (same a coordinate)."""
+        a, _ = self.coords(rank)
+        return [a * self.pb + b for b in range(self.pb)]
+
+    def edges(self) -> tuple[set[tuple[int, int]], set[tuple[int, int]]]:
+        """(CommA pairs, CommB pairs): the Fig.-4 communication pattern."""
+        ea: set[tuple[int, int]] = set()
+        eb: set[tuple[int, int]] = set()
+        for r in range(self.nranks):
+            for peer in self.comm_a_members(r):
+                if peer != r:
+                    ea.add((min(r, peer), max(r, peer)))
+            for peer in self.comm_b_members(r):
+                if peer != r:
+                    eb.add((min(r, peer), max(r, peer)))
+        return ea, eb
+
+    # ------------------------------------------------------------------
+    # node locality (Table 5)
+    # ------------------------------------------------------------------
+
+    def node_of(self, rank: int, cores_per_node: int) -> int:
+        return rank // cores_per_node
+
+    def off_node_fraction(self, which: str, cores_per_node: int) -> float:
+        """Fraction of CommA/CommB pair traffic that crosses node boundaries."""
+        ea, eb = self.edges()
+        edges = ea if which == "A" else eb
+        if not edges:
+            return 0.0
+        off = sum(
+            1
+            for (r, s) in edges
+            if self.node_of(r, cores_per_node) != self.node_of(s, cores_per_node)
+        )
+        return off / len(edges)
+
+    def comm_b_is_node_local(self, cores_per_node: int) -> bool:
+        """True when every CommB fits inside one node (the paper's winner)."""
+        return self.pb <= cores_per_node and self.off_node_fraction("B", cores_per_node) == 0.0
+
+
+def comm_grid(nranks: int, pa: int, pb: int) -> CommPattern:
+    """Construct (and validate) the CommA/CommB pattern of a process grid."""
+    return CommPattern(nranks=nranks, pa=pa, pb=pb)
+
+
+def ascii_pattern(pattern: CommPattern, max_ranks: int = 32) -> str:
+    """Tiny ASCII rendition of Fig. 4: an adjacency matrix with A/B marks."""
+    n = min(pattern.nranks, max_ranks)
+    ea, eb = pattern.edges()
+    grid = [["." for _ in range(n)] for _ in range(n)]
+    for r, s in ea:
+        if r < n and s < n:
+            grid[r][s] = grid[s][r] = "A"
+    for r, s in eb:
+        if r < n and s < n:
+            grid[r][s] = grid[s][r] = "B"
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,182 @@
+"""Distributed channel DNS on the pencil decomposition.
+
+Each SimMPI rank owns a y-pencil block of the spectral state (a slab of
+(kx, kz) modes with all of y local), so the Helmholtz solves and the
+whole Navier–Stokes time advance are rank-local — exactly the paper's
+§2.2 design.  Only the nonlinear-term evaluation touches the network,
+through the :class:`~repro.pencil.parallel_fft.PencilTransforms`
+pipeline (4 global transposes per field per direction).
+
+The distributed trajectory is bit-for-bit the serial one (up to FFT
+round-off); ``tests/pencil/test_distributed.py`` pins that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import ChannelGrid
+from repro.core.initial import perturbed_state
+from repro.core.solver import ChannelConfig
+from repro.core.timestepper import ChannelState, IMEXStepper
+from repro.core.velocity import recover_uw
+from repro.instrument import SectionTimers
+from repro.mpi.simmpi import Communicator
+from repro.pencil.parallel_fft import PencilTransforms
+from repro.pencil.transpose import TransposeMethod
+
+
+class DistributedChannelDNS:
+    """Per-rank distributed DNS driver (construct inside an SPMD function).
+
+    Parameters
+    ----------
+    comm:
+        World communicator of the SPMD program.
+    config:
+        The same :class:`~repro.core.solver.ChannelConfig` the serial
+        driver takes.
+    pa, pb:
+        Process grid; ``pa * pb == comm.size``.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: ChannelConfig,
+        pa: int,
+        pb: int,
+        method: TransposeMethod | None = None,
+    ) -> None:
+        if pa * pb != comm.size:
+            raise ValueError(f"{pa} x {pb} != {comm.size} ranks")
+        self.comm = comm
+        self.config = config
+        self.timers = SectionTimers()
+        self.cart = comm.cart_create((pa, pb))
+        self.grid = ChannelGrid(
+            config.nx,
+            config.ny,
+            config.nz,
+            lx=config.lx,
+            lz=config.lz,
+            degree=config.degree,
+            stretch=config.stretch,
+        )
+        self.transforms = PencilTransforms(
+            self.cart,
+            config.nx,
+            config.ny,
+            config.nz,
+            dealias=True,
+            method=method,
+            timers=self.timers,
+        )
+        d = self.transforms.decomp
+        self.decomp = d
+        self.modes = self.grid.modes.slab(d.x_slice, d.z_spec_slice)
+        self.stepper = IMEXStepper(
+            self.grid,
+            nu=config.nu,
+            dt=config.dt,
+            forcing=config.forcing,
+            scheme=config.scheme,
+            modes=self.modes,
+            backend=self.transforms,
+            reduce_max=lambda x: self.comm.allreduce(x, op=max),
+            timers=self.timers,
+        )
+        self.state: ChannelState | None = None
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+
+    def scatter_state(self, full: ChannelState) -> ChannelState:
+        """This rank's slab of a full (serial-layout) state."""
+        d = self.decomp
+        owns_mean = self.modes.owns_mean
+        return ChannelState(
+            v=np.ascontiguousarray(full.v[d.x_slice, d.z_spec_slice]),
+            omega_y=np.ascontiguousarray(full.omega_y[d.x_slice, d.z_spec_slice]),
+            u00=full.u00.copy() if owns_mean else None,
+            w00=full.w00.copy() if owns_mean else None,
+            time=full.time,
+        )
+
+    def initialize(self, full_state: ChannelState | None = None) -> None:
+        """Scatter an initial condition (default: the seeded perturbed state,
+        generated identically on every rank)."""
+        if full_state is None:
+            cfg = self.config
+            full_state = perturbed_state(
+                self.grid,
+                nu=cfg.nu,
+                amplitude=cfg.init_amplitude,
+                modes=cfg.init_modes,
+                seed=cfg.seed,
+                base=cfg.init_base,
+                forcing=cfg.forcing,
+            )
+        state = self.scatter_state(full_state)
+        state.u, state.w = recover_uw(
+            self.modes, self.stepper.ops, state.v, state.omega_y, state.u00, state.w00
+        )
+        self.state = state
+
+    def step(self) -> None:
+        if self.state is None:
+            raise RuntimeError("call initialize() first")
+        # the stepper shares self.timers: ns_advance covers the implicit
+        # solves, fft/transpose come from the pencil pipeline, and
+        # nonlinear_products spans the whole dealiased evaluation
+        self.state = self.stepper.step(self.state)
+        self.step_count += 1
+
+    def run(self, nsteps: int) -> None:
+        for _ in range(nsteps):
+            self.step()
+
+    # ------------------------------------------------------------------
+
+    def gather_state(self) -> ChannelState | None:
+        """Reassemble the full state on world rank 0 (None elsewhere)."""
+        s = self.state
+        if s is None:
+            raise RuntimeError("call initialize() first")
+        pieces = self.comm.gather(
+            (self.decomp.a, self.decomp.b, s.v, s.omega_y, s.u00, s.w00)
+        )
+        if pieces is None:
+            return None
+        g = self.grid
+        full_v = np.zeros(g.spectral_shape, complex)
+        full_o = np.zeros(g.spectral_shape, complex)
+        u00 = w00 = None
+        from repro.pencil.decomp import block_range
+
+        for a, b, v, o, pu, pw in pieces:
+            xs = slice(*block_range(self.transforms.mx, self.transforms.pa, a))
+            zs = slice(*block_range(self.transforms.mz, self.transforms.pb, b))
+            full_v[xs, zs] = v
+            full_o[xs, zs] = o
+            if pu is not None:
+                u00, w00 = pu, pw
+        full = ChannelState(v=full_v, omega_y=full_o, u00=u00, w00=w00, time=s.time)
+        ops = self.stepper.ops
+        full.u, full.w = recover_uw(g.modes, ops, full.v, full.omega_y, u00, w00)
+        return full
+
+    def divergence_norm(self) -> float:
+        """Global max collocated divergence."""
+        from repro.core.velocity import divergence
+
+        s = self.state
+        if s is None:
+            raise RuntimeError("call initialize() first")
+        local = float(
+            np.abs(divergence(self.modes, self.stepper.ops, s.u, s.v, s.w)).max()
+        )
+        return self.comm.allreduce(local, op=max)
+
+    def cfl_number(self) -> float:
+        return self.stepper.cfl_number()

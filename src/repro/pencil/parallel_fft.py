@@ -1,0 +1,207 @@
+"""The customized parallel FFT kernel (paper §4.4).
+
+Implements the full spectral <-> physical pipeline of the simulation loop
+(paper §2.3 steps (a)-(f) and their reverses) on the pencil
+decomposition:
+
+    y-pencil spectral
+      --(a) transpose CommB-->   z-pencil
+      --(b) pad z-->  --(c) inverse FFT z-->
+      --(d) transpose CommA-->   x-pencil
+      --(e) pad x-->  --(f) inverse real FFT x-->   physical
+
+The kernel embodies the two §4.4 distinctions from P3DFFT:
+
+* **Nyquist dropping** — the stored x spectrum has ``nx/2`` modes and the
+  z spectrum ``nz - 1``; the dropped modes never enter a transpose.
+* **1x work buffer** — every stage consumes its input and hands over one
+  intermediate of (at most) the padded size; no 3x staging buffers.
+
+Construction is collective over the cartesian communicator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.fourier import quadrature_points
+from repro.instrument import SectionTimers
+from repro.mpi.simmpi import CartesianCommunicator
+from repro.pencil.decomp import PencilDecomp, block_size
+from repro.pencil.transpose import GlobalTranspose, TransposeMethod
+
+
+def _insert_fft_modes(uh: np.ndarray, npoints: int, axis: int) -> np.ndarray:
+    """Zero-pad Nyquist-free FFT-ordered modes to a length-``npoints`` spectrum."""
+    from repro.fft.fourier import _insert_modes_c
+
+    return _insert_modes_c(uh, npoints, axis)
+
+
+def _extract_fft_modes(uh_full: np.ndarray, nz: int, axis: int) -> np.ndarray:
+    """Keep the ``nz - 1`` Nyquist-free modes from a full FFT spectrum."""
+    from repro.fft.fourier import truncate_from_quadrature_c
+
+    return truncate_from_quadrature_c(uh_full, nz, axis=axis)
+
+
+class PencilTransforms:
+    """Distributed spectral <-> physical transforms on a PA x PB grid.
+
+    Parameters
+    ----------
+    cart:
+        Cartesian communicator with ``dims = (pa, pb)``.
+    nx, ny, nz:
+        Global physical grid extents (x and z even).
+    dealias:
+        Pad to the 3/2 quadrature grid (production DNS) or transform on
+        the bare grid (the Table 6 benchmark configuration, matching
+        P3DFFT's feature set).
+    method:
+        Fixed transpose method, or None to keep the default (alltoall);
+        call :meth:`plan` to measure and choose per communicator.
+    timers:
+        Optional :class:`SectionTimers` receiving transpose/fft sections.
+    """
+
+    drop_nyquist = True
+
+    def __init__(
+        self,
+        cart: CartesianCommunicator,
+        nx: int,
+        ny: int,
+        nz: int,
+        dealias: bool = True,
+        method: TransposeMethod | None = None,
+        timers: SectionTimers | None = None,
+    ) -> None:
+        if len(cart.dims) != 2:
+            raise ValueError("need a 2-D cartesian communicator (pa, pb)")
+        self.cart = cart
+        self.pa, self.pb = cart.dims
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.dealias = dealias
+        self.timers = timers or SectionTimers()
+
+        self.mx = nx // 2 if self.drop_nyquist else nx // 2 + 1
+        self.mz = nz - 1 if self.drop_nyquist else nz
+        self.nxq = quadrature_points(nx) if dealias else nx
+        self.nzq = quadrature_points(nz) if dealias else nz
+
+        self.decomp = PencilDecomp.for_rank(
+            self.mx, self.mz, ny, self.nxq, self.nzq, self.pa, self.pb, cart.rank
+        )
+        self.decomp.validate()
+
+        # CommA: ranks sharing the B coordinate (dim 0 varies).
+        self.comm_a = cart.cart_sub([True, False])
+        # CommB: ranks sharing the A coordinate (dim 1 varies).
+        self.comm_b = cart.cart_sub([False, True])
+
+        kw = {"method": method} if method is not None else {}
+        self.t_yz = GlobalTranspose(self.comm_b, split_axis=2, concat_axis=1, **kw)
+        self.t_zy = GlobalTranspose(self.comm_b, split_axis=1, concat_axis=2, **kw)
+        self.t_zx = GlobalTranspose(self.comm_a, split_axis=1, concat_axis=0, **kw)
+        self.t_xz = GlobalTranspose(self.comm_a, split_axis=0, concat_axis=1, **kw)
+
+    # ------------------------------------------------------------------
+    # forward: spectral (y-pencil) -> physical (x-pencil)
+    # ------------------------------------------------------------------
+
+    def to_physical(self, spec: np.ndarray) -> np.ndarray:
+        """Steps (a)-(f): y-pencil spectral block -> x-pencil physical block."""
+        d, t = self.decomp, self.timers
+        if spec.shape != d.y_pencil_shape:
+            raise ValueError(f"expected {d.y_pencil_shape}, got {spec.shape}")
+        with t.section(t.TRANSPOSE):
+            zp = self.t_yz.execute(np.ascontiguousarray(spec))  # (mxa, mz, nyb)
+        with t.section(t.FFT):
+            if self.drop_nyquist:
+                zfull = _insert_fft_modes(zp, self.nzq, axis=1)
+            else:
+                zfull = self._pad_full_spectrum(zp, self.nzq, axis=1)
+            zphys = np.fft.ifft(zfull * self.nzq, axis=1)  # (mxa, nzq, nyb)
+        with t.section(t.TRANSPOSE):
+            xp = self.t_zx.execute(zphys)  # (mx, nzqa, nyb)
+        with t.section(t.FFT):
+            if self.drop_nyquist:
+                shape = list(xp.shape)
+                shape[0] = self.nxq // 2 + 1
+                xfull = np.zeros(shape, dtype=complex)
+                xfull[: self.mx] = xp
+            else:
+                shape = list(xp.shape)
+                shape[0] = self.nxq // 2 + 1
+                xfull = np.zeros(shape, dtype=complex)
+                xfull[: xp.shape[0]] = xp
+            phys = np.fft.irfft(xfull * self.nxq, n=self.nxq, axis=0)
+        return phys
+
+    def from_physical(self, phys: np.ndarray) -> np.ndarray:
+        """Reverse of :meth:`to_physical` (the Galerkin projection of step h)."""
+        d, t = self.decomp, self.timers
+        if phys.shape != d.x_pencil_shape_phys:
+            raise ValueError(f"expected {d.x_pencil_shape_phys}, got {phys.shape}")
+        with t.section(t.FFT):
+            xh = np.fft.rfft(phys, axis=0) / self.nxq
+            xh = np.ascontiguousarray(xh[: self.mx])  # truncate pad (+ Nyquist)
+        with t.section(t.TRANSPOSE):
+            zp = self.t_xz.execute(xh)  # (mxa, nzq, nyb)
+        with t.section(t.FFT):
+            zh = np.fft.fft(zp, axis=1) / self.nzq
+            if self.drop_nyquist:
+                zh = _extract_fft_modes(zh, self.nz, axis=1)
+            else:
+                zh = self._truncate_full_spectrum(zh, axis=1)
+        with t.section(t.TRANSPOSE):
+            spec = self.t_zy.execute(np.ascontiguousarray(zh))  # (mxa, mzb, ny)
+        return spec
+
+    # ------------------------------------------------------------------
+    # helpers for the Nyquist-keeping variant (P3DFFT layout)
+    # ------------------------------------------------------------------
+
+    def _pad_full_spectrum(self, zp: np.ndarray, npoints: int, axis: int) -> np.ndarray:
+        if npoints == self.nz:
+            return zp
+        raise NotImplementedError("dealiasing requires the Nyquist-free layout")
+
+    def _truncate_full_spectrum(self, zh: np.ndarray, axis: int) -> np.ndarray:
+        return zh
+
+    # ------------------------------------------------------------------
+    # benchmark entry point (Table 6)
+    # ------------------------------------------------------------------
+
+    def fft_cycle(self, spec: np.ndarray) -> np.ndarray:
+        """One parallel-FFT benchmark cycle: 4 transposes + 4 FFT stages.
+
+        Matches the paper's Table 6 protocol: the data is transformed in
+        two directions only (no y transform) and comes back spectral.
+        """
+        return self.from_physical(self.to_physical(spec))
+
+    def plan(self, probe: np.ndarray | None = None) -> dict[str, TransposeMethod]:
+        """Collectively measure transpose methods and fix the best ones."""
+        d = self.decomp
+        if probe is None:
+            probe = np.zeros(d.y_pencil_shape, dtype=complex)
+        choice_yz = self.t_yz.plan(probe)
+        self.t_zy.method = choice_yz
+        probe_zx = np.zeros(d.z_pencil_shape_phys, dtype=complex)
+        choice_zx = self.t_zx.plan(probe_zx)
+        self.t_xz.method = choice_zx
+        return {"CommB": choice_yz, "CommA": choice_zx}
+
+    # ------------------------------------------------------------------
+    # accounting (the §4.4 memory claim)
+    # ------------------------------------------------------------------
+
+    def work_buffer_elements(self) -> int:
+        """Peak intermediate size: one padded z-pencil block (~1x input)."""
+        return int(np.prod(self.decomp.z_pencil_shape_phys))
+
+    def input_elements(self) -> int:
+        return int(np.prod(self.decomp.y_pencil_shape))

@@ -1,0 +1,49 @@
+"""On-node data reordering (paper §4.2, Table 4).
+
+As part of the global transpose, the data on each node is reordered
+``A(i,j,k) -> A(j,k,i)`` so that the upcoming transform axis is unit
+stride.  The kernel is pure memory movement — the paper shows it
+saturating DDR bandwidth at ~16 bytes/cycle and scaling poorly beyond
+8 threads.  Here it is a strided copy; :func:`reorder` also reports the
+bytes moved so the perf model and Table 4 bench can account traffic.
+
+``chunked_reorder`` splits the copy into independent pieces, mirroring
+the paper's OpenMP strategy of "maintaining multiple data streams from
+memory" (threads do not help a NumPy copy, but the decomposition is the
+same and lets the bench measure chunking overhead honestly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reorder(a: np.ndarray, perm: tuple[int, int, int] = (1, 2, 0)) -> tuple[np.ndarray, int]:
+    """Contiguous axis permutation of a 3-D array; returns (array, bytes moved).
+
+    The default permutation is the paper's ``A(i,j,k) -> A(j,k,i)``.
+    """
+    if a.ndim != 3:
+        raise ValueError(f"reorder expects 3-D data, got {a.ndim}-D")
+    out = np.ascontiguousarray(np.transpose(a, perm))
+    return out, 2 * a.nbytes  # read + write
+
+
+def chunked_reorder(
+    a: np.ndarray, perm: tuple[int, int, int] = (1, 2, 0), nchunks: int = 1
+) -> tuple[np.ndarray, int]:
+    """Reorder split into ``nchunks`` independent slabs along the new axis 0.
+
+    Each slab is an independent strided copy — the unit of work one
+    OpenMP thread would take in the paper's implementation.
+    """
+    if a.ndim != 3:
+        raise ValueError(f"reorder expects 3-D data, got {a.ndim}-D")
+    moved = np.transpose(a, perm)
+    out = np.empty(moved.shape, dtype=a.dtype)
+    n0 = moved.shape[0]
+    nchunks = max(1, min(nchunks, n0))
+    bounds = np.linspace(0, n0, nchunks + 1, dtype=int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        out[lo:hi] = moved[lo:hi]
+    return out, 2 * a.nbytes

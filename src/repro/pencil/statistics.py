@@ -1,0 +1,80 @@
+"""Distributed turbulence statistics.
+
+Plane-averaged covariances are weighted sums over wavenumbers, so each
+rank accumulates its own mode block and one ``allreduce`` per profile
+assembles the global average — no field data ever moves.  The result is
+numerically identical to the serial
+:class:`~repro.core.statistics.RunningStatistics` (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.modes import ModeSet
+from repro.core.timestepper import ChannelState
+
+
+class DistributedStatistics:
+    """Per-rank accumulator with allreduce-on-read semantics."""
+
+    PROFILES = ("U", "uu", "vv", "ww", "uv")
+
+    def __init__(self, dns) -> None:
+        self.dns = dns
+        self.comm = dns.comm
+        self.modes: ModeSet = dns.modes
+        ny = dns.grid.ny
+        self.nsamples = 0
+        self._sums = {name: np.zeros(ny) for name in self.PROFILES}
+        # Parseval weights for this rank's block: kx > 0 counts twice
+        w = np.full(self.modes.shape, 2.0)
+        w[self.modes.kx == 0.0, :] = 1.0
+        self._weights = w[..., None]
+
+    # ------------------------------------------------------------------
+
+    def _covariance(self, f_vals: np.ndarray, g_vals: np.ndarray) -> np.ndarray:
+        prod = np.real(f_vals * np.conj(g_vals)) * self._weights
+        mean = self.modes.mean_index
+        if mean is not None:
+            prod[mean] = 0.0  # fluctuations exclude the mean mode
+        return prod.sum(axis=(0, 1))
+
+    def sample(self, state: ChannelState | None = None) -> None:
+        """Accumulate one snapshot (collective: all ranks must call)."""
+        dns = self.dns
+        state = state if state is not None else dns.state
+        if state is None:
+            raise RuntimeError("no state to sample")
+        ops = dns.stepper.ops
+        u_vals = ops.values(state.u)
+        v_vals = ops.values(state.v)
+        w_vals = ops.values(state.w)
+        if self.modes.owns_mean:
+            self._sums["U"] += ops.values(state.u00)
+        self._sums["uu"] += self._covariance(u_vals, u_vals)
+        self._sums["vv"] += self._covariance(v_vals, v_vals)
+        self._sums["ww"] += self._covariance(w_vals, w_vals)
+        self._sums["uv"] += self._covariance(u_vals, v_vals)
+        self.nsamples += 1
+
+    # ------------------------------------------------------------------
+
+    def profile(self, name: str) -> np.ndarray:
+        """Global time-averaged profile (collective: performs an allreduce)."""
+        if self.nsamples == 0:
+            raise RuntimeError("no samples accumulated")
+        total = self.comm.allreduce(self._sums[name])
+        return total / self.nsamples
+
+    def mean_velocity(self) -> np.ndarray:
+        return self.profile("U")
+
+    def reynolds_stress(self) -> np.ndarray:
+        return -self.profile("uv")
+
+    def friction_velocity(self, nu: float) -> float:
+        a = self.dns.grid.basis.interpolate(self.mean_velocity())
+        d_lo, d_up = self.dns.stepper.ops.wall_derivatives(a)
+        return float(np.sqrt(nu * 0.5 * (abs(d_lo) + abs(d_up))))

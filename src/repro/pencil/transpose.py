@@ -1,0 +1,147 @@
+"""Global pencil transposes over sub-communicators (paper §4.3).
+
+A global transpose redistributes a 3-D block: the axis that was local
+becomes distributed and vice versa.  Concretely, each rank
+
+1. splits its local array into ``P`` chunks along the axis that is about
+   to become distributed,
+2. exchanges chunks all-to-all within the sub-communicator,
+3. concatenates the received chunks along the axis that becomes local.
+
+Like FFTW 3.3's transpose planner, two implementations are available —
+one MPI_alltoall-style collective and one pairwise MPI_sendrecv loop —
+and a measuring planner picks whichever is faster on this machine for
+this shape ("multiple implementations of the global transposes are
+tested ... the implementation with the best performance on simple tests
+is selected", §4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+
+import numpy as np
+
+from repro.mpi.simmpi import Communicator
+
+
+class TransposeMethod(enum.Enum):
+    ALLTOALL = "alltoall"
+    PAIRWISE = "pairwise_sendrecv"
+
+
+class GlobalTranspose:
+    """One direction of a pencil transpose bound to a sub-communicator.
+
+    Parameters
+    ----------
+    comm:
+        The sub-communicator (CommA or CommB) carrying the exchange.
+    split_axis:
+        Axis of the *input* that becomes distributed (chunked for sends).
+    concat_axis:
+        Axis of the *output* along which received chunks are concatenated
+        (the axis that becomes local).
+    split_sizes:
+        Optional explicit chunk sizes along ``split_axis`` (block sizes of
+        the receivers); defaults to near-equal blocks.
+    method:
+        Fixed method, or None to let :meth:`plan` measure and choose.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        split_axis: int,
+        concat_axis: int,
+        split_sizes: list[int] | None = None,
+        method: TransposeMethod | None = None,
+    ) -> None:
+        self.comm = comm
+        self.split_axis = split_axis
+        self.concat_axis = concat_axis
+        self.split_sizes = split_sizes
+        self.method = method or TransposeMethod.ALLTOALL
+        self.measured: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _chunks(self, a: np.ndarray) -> list[np.ndarray]:
+        p = self.comm.size
+        n = a.shape[self.split_axis]
+        if self.split_sizes is not None:
+            if len(self.split_sizes) != p or sum(self.split_sizes) != n:
+                raise ValueError(
+                    f"split_sizes {self.split_sizes} incompatible with extent {n} over {p}"
+                )
+            bounds = np.concatenate([[0], np.cumsum(self.split_sizes)])
+            return [
+                np.ascontiguousarray(
+                    a.take(range(bounds[i], bounds[i + 1]), axis=self.split_axis)
+                )
+                for i in range(p)
+            ]
+        from repro.pencil.decomp import block_slices
+
+        slices = block_slices(n, p)
+        idx: list[slice | None] = [slice(None)] * a.ndim
+        out = []
+        for s in slices:
+            idx[self.split_axis] = s
+            out.append(np.ascontiguousarray(a[tuple(idx)]))
+        return out
+
+    def _exchange_alltoall(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        return self.comm.alltoall(chunks)
+
+    def _exchange_pairwise(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        """Pairwise sendrecv rounds (XOR schedule when P is a power of two,
+        shifted ring otherwise)."""
+        comm = self.comm
+        p = comm.size
+        received: list[np.ndarray | None] = [None] * p
+        received[comm.rank] = chunks[comm.rank]
+        for step in range(1, p):
+            if p & (p - 1) == 0:
+                peer = comm.rank ^ step
+            else:
+                peer = (comm.rank + step) % p
+            sendpeer = peer if p & (p - 1) == 0 else (comm.rank - step) % p
+            if p & (p - 1) == 0:
+                received[peer] = comm.sendrecv(chunks[peer], dest=peer, source=peer, tag=step)
+            else:
+                received[sendpeer] = comm.sendrecv(
+                    chunks[peer], dest=peer, source=sendpeer, tag=step
+                )
+        return received  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def execute(self, a: np.ndarray) -> np.ndarray:
+        """Perform the transpose on this rank's block."""
+        chunks = self._chunks(a)
+        if self.method is TransposeMethod.ALLTOALL:
+            received = self._exchange_alltoall(chunks)
+        else:
+            received = self._exchange_pairwise(chunks)
+        return np.concatenate(received, axis=self.concat_axis)
+
+    def plan(self, probe: np.ndarray) -> TransposeMethod:
+        """Measure both methods on a probe array and fix the faster one.
+
+        Collective: every member must call ``plan`` together.
+        """
+        timings = {}
+        for method in TransposeMethod:
+            self.method = method
+            self.comm.barrier()
+            t0 = time.perf_counter()
+            self.execute(probe)
+            self.comm.barrier()
+            local = time.perf_counter() - t0
+            timings[method.value] = max(self.comm.allgather(local))
+        self.measured = timings
+        best = min(timings, key=timings.get)
+        self.method = TransposeMethod(best)
+        return self.method

@@ -1,0 +1,192 @@
+"""Fluid (progressive-filling) network simulator for transpose traffic.
+
+The analytic model in :mod:`repro.perfmodel.network` prices an
+all-to-all with closed-form saturation laws.  This module provides an
+independent check: a message-level fluid simulation with max-min fair
+bandwidth sharing over three resource classes —
+
+* per-node **injection** capacity (NIC out),
+* per-node **ejection** capacity (NIC in),
+* a global **fabric** capacity (the bisection pool a torus/fat tree
+  offers the whole partition),
+
+while node-local messages use a separate shared-memory capacity.  The
+simulation alternates max-min rate allocation with advancing time to the
+next message completion — exact for fluid flows, and capable of pricing
+*irregular* patterns (CommA/CommB with node locality, skewed loads) that
+the closed forms only approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FabricSpec:
+    """Capacities of the simulated machine partition (bytes/second)."""
+
+    injection_bw: float
+    ejection_bw: float
+    fabric_bw: float  # aggregate cross-node pool (bisection-like)
+    local_bw: float  # per-node shared-memory exchange capacity
+
+    @classmethod
+    def from_machine(cls, machine, nodes: int) -> "FabricSpec":
+        """Capacities consistent with the analytic model at this scale."""
+        net = machine.network
+        per_node = net.alltoall_bw * min(1.5, max(net.saturation(nodes), 1e-6))
+        return cls(
+            injection_bw=net.alltoall_bw * 1.5,
+            ejection_bw=net.alltoall_bw * 1.5,
+            fabric_bw=per_node * nodes,
+            local_bw=machine.local_copy_bw,
+        )
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    remaining: float
+    rate: float = 0.0
+    finish_time: float = field(default=np.inf, repr=False)
+
+
+def _maxmin_rates(messages: list[Message], spec: FabricSpec, nodes: int) -> None:
+    """Max-min fair allocation over injection/ejection/fabric capacities.
+
+    Progressive filling: repeatedly find the most-contended resource,
+    freeze its flows at the fair share, remove the capacity, repeat.
+    Node-local messages only contend for their node's local capacity.
+    """
+    remote = [m for m in messages if m.src != m.dst]
+    local = [m for m in messages if m.src == m.dst]
+
+    # Local messages: per-node fair share of the shared-memory capacity.
+    per_node_local: dict[int, list[Message]] = {}
+    for m in local:
+        per_node_local.setdefault(m.src, []).append(m)
+    for node_msgs in per_node_local.values():
+        share = spec.local_bw / len(node_msgs)
+        for m in node_msgs:
+            m.rate = share
+
+    if not remote:
+        return
+
+    # Resources: injection per src node, ejection per dst node, one fabric.
+    inj_cap = {n: spec.injection_bw for n in range(nodes)}
+    ej_cap = {n: spec.ejection_bw for n in range(nodes)}
+    fabric_cap = spec.fabric_bw
+    active = list(remote)
+    for m in active:
+        m.rate = 0.0
+
+    while active:
+        # fair share each resource could give its active flows
+        inj_load: dict[int, int] = {}
+        ej_load: dict[int, int] = {}
+        for m in active:
+            inj_load[m.src] = inj_load.get(m.src, 0) + 1
+            ej_load[m.dst] = ej_load.get(m.dst, 0) + 1
+        candidates: list[tuple[float, str, int]] = []
+        for n, k in inj_load.items():
+            candidates.append((inj_cap[n] / k, "inj", n))
+        for n, k in ej_load.items():
+            candidates.append((ej_cap[n] / k, "ej", n))
+        candidates.append((fabric_cap / len(active), "fab", -1))
+        share, kind, node = min(candidates)
+
+        # freeze flows crossing the bottleneck at the fair share
+        frozen = []
+        for m in active:
+            if (
+                (kind == "inj" and m.src == node)
+                or (kind == "ej" and m.dst == node)
+                or kind == "fab"
+            ):
+                m.rate = share
+                frozen.append(m)
+        for m in frozen:
+            inj_cap[m.src] -= share
+            ej_cap[m.dst] -= share
+            fabric_cap -= share
+            active.remove(m)
+        fabric_cap = max(fabric_cap, 0.0)
+
+
+def simulate_traffic(messages: list[Message], spec: FabricSpec, nodes: int) -> float:
+    """Fluid simulation: total completion time of the message set."""
+    msgs = [m for m in messages if m.remaining > 0]
+    t = 0.0
+    guard = 0
+    while msgs:
+        guard += 1
+        if guard > 100000:
+            raise RuntimeError("fluid simulation failed to converge")
+        _maxmin_rates(msgs, spec, nodes)
+        # time to the next completion
+        dt = min(m.remaining / m.rate for m in msgs if m.rate > 0)
+        t += dt
+        for m in msgs:
+            m.remaining -= m.rate * dt
+        msgs = [m for m in msgs if m.remaining > 1e-9]
+    return t
+
+
+def alltoall_messages(
+    sub_groups: list[list[int]],
+    bytes_per_pair: float,
+    node_of,
+) -> list[Message]:
+    """Message set of simultaneous all-to-alls within each rank group.
+
+    ``node_of(rank)`` maps ranks to nodes; messages between co-located
+    ranks become node-local flows.
+    """
+    out = []
+    for group in sub_groups:
+        for a in group:
+            for b in group:
+                if a == b:
+                    continue
+                out.append(Message(src=node_of(a), dst=node_of(b), remaining=bytes_per_pair))
+    return out
+
+
+def simulate_subcomm_alltoall(
+    machine,
+    nodes: int,
+    tasks_per_node: int,
+    sub_size: int,
+    stride: int,
+    data_bytes_per_task: float,
+) -> float:
+    """Time one sub-communicator all-to-all via the fluid simulator.
+
+    Mirrors the analytic
+    :meth:`~repro.perfmodel.network.TransposeCostModel.transpose_time`
+    for a rank placement of ``tasks_per_node`` consecutive ranks per node
+    and sub-communicators of ``sub_size`` ranks spaced ``stride`` apart.
+    """
+    ntasks = nodes * tasks_per_node
+    spec = FabricSpec.from_machine(machine, nodes)
+
+    def node_of(rank: int) -> int:
+        return rank // tasks_per_node
+
+    groups = []
+    seen = set()
+    for start in range(ntasks):
+        if start in seen:
+            continue
+        group = [start + i * stride for i in range(sub_size)]
+        if group[-1] >= ntasks or any(g in seen for g in group):
+            continue
+        groups.append(group)
+        seen.update(group)
+    msgs = alltoall_messages(groups, data_bytes_per_task / sub_size, node_of)
+    return simulate_traffic(msgs, spec, nodes)

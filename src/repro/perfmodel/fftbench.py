@@ -1,0 +1,199 @@
+"""Parallel FFT benchmark model — custom kernel vs P3DFFT (Table 6).
+
+The benchmark protocol (paper §4.4): one parallel-FFT cycle = 4 global
+transposes + 4 FFT stages, data transformed in two directions only, no
+dealiasing pads.  The model prices both kernels from their documented
+implementation differences:
+
+============================  =======================  ====================
+ingredient                    custom kernel            P3DFFT 2.5.1
+============================  =======================  ====================
+task layout                   hybrid (task/node,       MPI (task/core):
+                              threads): large msgs     P² small messages
+on-node threading             OpenMP + BG/Q hardware   none
+                              threads (Table 3 boost)
+Nyquist mode                  dropped from storage     kept: extra volume
+                              and transposes
+work buffers                  1x input                 3x input: two extra
+                                                       memory passes/stage
+on-node reorder               cache-blocked; gets      stride-1 loops over
+                              *faster* as local        the big staging
+                              blocks shrink (the       buffers
+                              super-scaling of §4.4)
+============================  =======================  ====================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfmodel.kernels import GridCounts
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.network import TransposeCostModel, comm_geometry
+from repro.perfmodel.threading import ThreadScalingModel
+
+
+@dataclass
+class FFTCycleTime:
+    fft: float
+    transpose: float
+    reorder: float
+
+    @property
+    def total(self) -> float:
+        return self.fft + self.transpose + self.reorder
+
+
+#: fitted machine-specific P3DFFT interaction constants (see __init__);
+#: values from the least-squares calibration against Table 6
+#: (benchmarks/calibration.py)
+P3_INTERACTION = {
+    "Mira": {
+        "cache_bytes": 8.38e6,
+        "cache_coeff": 0.317,
+        "penalty": 2.20,
+        "reorder_factor": 1.0,
+        "sync_per_task": 0.0,
+    },
+    "Lonestar": {
+        "cache_bytes": 8.38e6,
+        "cache_coeff": 0.317,
+        "penalty": 0.67,
+        "reorder_factor": 1.0,
+        "sync_per_task": 84e-6,
+    },
+    "Stampede": {
+        "cache_bytes": 8.38e6,
+        "cache_coeff": 0.317,
+        "penalty": 0.67,
+        "reorder_factor": 1.0,
+        "sync_per_task": 41e-6,
+    },
+    "default": {
+        "cache_bytes": 8.38e6,
+        "cache_coeff": 0.317,
+        "penalty": 1.2,
+        "reorder_factor": 1.0,
+        "sync_per_task": 20e-6,
+    },
+}
+
+
+class ParallelFFTModel:
+    """Table 6 cost model for both kernels on one machine and grid."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        nx: int,
+        ny: int,
+        nz: int,
+        reorder_passes: float = 1.37,
+        reorder_cache_bytes: float | None = None,
+        reorder_cache_coeff: float | None = None,
+        p3_transpose_penalty: float | None = None,
+        p3_reorder_factor: float | None = None,
+        p3_sync_per_task: float | None = None,
+    ) -> None:
+        self.machine = machine
+        self.counts = GridCounts(nx=nx, ny=ny, nz=nz, dealias=False)
+        self.net = TransposeCostModel(machine)
+        self.threads = ThreadScalingModel(machine)
+        defaults = P3_INTERACTION.get(machine.name, P3_INTERACTION["default"])
+
+        def pick(value, key):
+            return defaults[key] if value is None else value
+
+        #: fitted: reorder passes per transpose (pack + unpack)
+        self.REORDER_PASSES = reorder_passes
+        #: fitted: cache-efficiency knee of the reorder (bytes per core)
+        self.REORDER_CACHE_BYTES = pick(reorder_cache_bytes, "cache_bytes")
+        #: fitted: reorder slowdown per doubling above the knee
+        self.REORDER_CACHE_COEFF = pick(reorder_cache_coeff, "cache_coeff")
+        #: fitted: P3DFFT's unplanned small-message exchange overhead
+        #: (large on BG/Q, whose MPI pays dearly for 16 ranks/node of
+        #: unaggregated traffic; ~1 on commodity InfiniBand MPI)
+        self.P3_TRANSPOSE_PENALTY = pick(p3_transpose_penalty, "penalty")
+        #: fitted: P3DFFT's staging-buffer memory passes (3x buffers)
+        self.P3_REORDER_FACTOR = pick(p3_reorder_factor, "reorder_factor")
+        #: fitted: per-task software alltoall setup cost per cycle — the
+        #: ~0.19 s floor P3DFFT hits at scale on the IB machines; zero on
+        #: Mira's hardware collectives
+        self.P3_SYNC_PER_TASK = pick(p3_sync_per_task, "sync_per_task")
+
+    # ------------------------------------------------------------------
+
+    def _fft_time(self, cores: int, boosted: bool) -> float:
+        c = self.counts
+        flops = 2.0 * (c.z_fft_flops() + c.x_fft_flops())  # inverse + forward
+        rate = cores * self.machine.fft_gflops_per_core * 1e9
+        if boosted and self.machine.hw_threads_per_core > 1:
+            rate *= self.threads.hw_boost(self.machine.hw_threads_per_core)
+        return flops / rate
+
+    def _reorder_time(self, cores: int, kernel: str) -> float:
+        """On-node reordering cost; cache-dependent for the custom kernel."""
+        c = self.counts
+        m = self.machine
+        nodes = m.nodes(cores)
+        total_bytes = 4 * self.REORDER_PASSES * 2.0 * c.yz_bytes()  # 4 transposes, r+w
+        per_node = total_bytes / nodes
+        if kernel == "custom":
+            local_block = c.yz_bytes() / (cores / m.cores_per_node) / m.cores_per_node
+            # cache-blocked reorder: slows down when per-core blocks are
+            # far bigger than cache; the source of §4.4's super-scaling
+            excess = local_block / self.REORDER_CACHE_BYTES
+            penalty = 1.0 + self.REORDER_CACHE_COEFF * max(0.0, math.log2(max(excess, 1e-9)))
+            bw = m.ddr_bw * self.threads.reorder_bandwidth_fraction(m.cores_per_node)
+            return per_node * penalty / bw
+        # p3dfft: extra staging passes through the 3x buffers, stride-1
+        bw = m.ddr_bw * self.threads.reorder_bandwidth_fraction(m.cores_per_node)
+        return per_node * self.P3_REORDER_FACTOR / bw
+
+    def _transpose_time(self, cores: int, kernel: str) -> float:
+        c = self.counts
+        m = self.machine
+        nodes = m.nodes(cores)
+        if kernel == "custom":
+            tasks = nodes  # hybrid
+            tasks_per_node = 1
+            volume_factor = 1.0
+        else:
+            tasks = cores  # MPI everywhere
+            tasks_per_node = m.cores_per_node
+            # Nyquist modes ride along in both directions
+            volume_factor = ((c.nx / 2 + 1) / (c.nx / 2)) * (c.nz / (c.nz - 1))
+        pb = min(16, tasks)
+        while tasks % pb:
+            pb -= 1
+        pa = tasks // pb
+        geom_b = comm_geometry(pb, 1, tasks_per_node)
+        geom_a = comm_geometry(pa, pb, tasks_per_node)
+        per_task_yz = volume_factor * c.yz_bytes() / tasks
+        per_task_zx = volume_factor * c.zx_bytes() / tasks
+        t = self.net.transpose_time(geom_b, per_task_yz, tasks_per_node, nodes)
+        t += self.net.transpose_time(geom_a, per_task_zx, tasks_per_node, nodes)
+        if kernel == "p3dfft":
+            t = t * self.P3_TRANSPOSE_PENALTY + tasks * self.P3_SYNC_PER_TASK / 2.0
+        return 2.0 * t  # forward + back
+
+    # ------------------------------------------------------------------
+
+    def cycle_time(self, cores: int, kernel: str = "custom") -> FFTCycleTime:
+        """One benchmark cycle; ``kernel`` is "custom" or "p3dfft"."""
+        if kernel not in ("custom", "p3dfft"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        boosted = kernel == "custom"
+        return FFTCycleTime(
+            fft=self._fft_time(cores, boosted),
+            transpose=self._transpose_time(cores, kernel),
+            reorder=self._reorder_time(cores, kernel),
+        )
+
+    def memory_elements_per_task(self, cores: int, kernel: str) -> float:
+        """Working set per task (the Table 6 'N/A: inadequate memory' check)."""
+        c = self.counts
+        tasks = self.machine.nodes(cores) if kernel == "custom" else cores
+        base = c.yz_bytes() / 16 / tasks  # complex elements per task
+        return base * (2.0 if kernel == "custom" else 4.0)  # input + buffers

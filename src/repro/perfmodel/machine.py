@@ -1,0 +1,255 @@
+"""Benchmark machine specifications (paper §3).
+
+Hardware numbers are public specs of the four systems circa 2013; the
+constants marked *fitted* are calibrated against anchor measurements in
+the paper's own tables (the calibration script is
+``benchmarks/calibration.py``; EXPERIMENTS.md records the residuals).
+
+Units: bytes/second, seconds, Hz, flops/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect description used by the transpose cost model.
+
+    ``alltoall_bw`` is the *effective* per-node all-to-all bandwidth with
+    large messages — well below link speed, as in any real fabric — and
+    degrades with the machine's saturation law:
+
+    * torus of dimension d: ``bw * min(1, (sat_coeff / r)**sat_power)``
+      with ``r = nodes**(1/d)`` (bisection-limited; 5-D tori barely
+      degrade, 3-D tori collapse — paper §5.1 on Blue Waters),
+    * fat tree: ``bw * min(1, (sat_nodes / nodes)**sat_exp)``
+      (oversubscription past the first switch tier).
+
+    Small messages pay a per-message ramp: the achievable fraction of
+    bandwidth is ``s / (s + s0)`` for message size ``s``, where
+    ``s0 = latency * bw`` is the latency-equivalent size.  This single
+    term is what makes MPI-everywhere (tiny messages) lose to hybrid
+    (§5.3) until the network saturates.
+    """
+
+    kind: str  # "torus" | "fattree"
+    alltoall_bw: float  # fitted: effective per-node B/s, large messages
+    latency: float  # effective per-message overhead (s), software included
+    dims: int = 0
+    sat_coeff: float = 8.0  # fitted (torus)
+    sat_power: float = 1.0  # fitted (torus)
+    sat_nodes: float = 64.0  # fitted (fat tree)
+    sat_exp: float = 0.35  # fitted (fat tree)
+    #: fitted: message-count pressure of many tasks per node — the §5.3
+    #: "sixteen times more MPI tasks ... 256 times more messages" effect;
+    #: tasks_factor(T) = 1 / (1 + eta * ln T)
+    task_contention_eta: float = 0.127
+    #: torus partitions up to this many nodes are fully wired (a BG/Q
+    #: midplane with its electrically isolated 5-D torus) and sustain
+    #: ``midplane_boost`` x the reference all-to-all bandwidth
+    midplane_nodes: int = 0
+    midplane_boost: float = 1.0
+
+    @property
+    def ramp_bytes(self) -> float:
+        """Latency-equivalent message size s0."""
+        return self.latency * self.alltoall_bw
+
+    def message_efficiency(self, msg_bytes: float) -> float:
+        """Fraction of bandwidth achieved at a given message size."""
+        if msg_bytes <= 0:
+            return 0.0
+        return msg_bytes / (msg_bytes + self.ramp_bytes)
+
+    def task_factor(self, tasks_per_node: int) -> float:
+        """Bandwidth fraction under many-tasks-per-node message pressure."""
+        import math
+
+        if tasks_per_node <= 1:
+            return 1.0
+        return 1.0 / (1.0 + self.task_contention_eta * math.log(tasks_per_node))
+
+    def saturation(self, nodes: int) -> float:
+        """Bandwidth fraction surviving network contention at this scale."""
+        if nodes <= 1:
+            return max(1.0, self.midplane_boost)
+        if self.kind == "torus":
+            if nodes <= self.midplane_nodes:
+                # fully wired small partition (BG/Q midplane): flat,
+                # above-reference bandwidth — the fast small partitions
+                # of Table 6
+                return self.midplane_boost
+            radius = nodes ** (1.0 / self.dims)
+            return min(
+                max(1.0, self.midplane_boost),
+                (self.sat_coeff / radius) ** self.sat_power,
+            )
+        if nodes <= self.sat_nodes:
+            return 1.0
+        return (self.sat_nodes / nodes) ** self.sat_exp
+
+    def effective_bw(self, nodes: int, tasks_per_node: int = 1) -> float:
+        """Per-node all-to-all bandwidth at this scale and task layout.
+
+        The limiting congestion state is whichever pressure binds first —
+        many small messages (MPI-everywhere) or network-scale saturation
+        (§5.3: hybrid's advantage disappears once the torus saturates the
+        way the extra MPI tasks already had).  In the unsaturated regime
+        (saturation > 1, small torus partitions) both factors apply.
+        """
+        sat = self.saturation(nodes)
+        tf = self.task_factor(tasks_per_node)
+        if sat <= 1.0:
+            return self.alltoall_bw * min(tf, sat)
+        return self.alltoall_bw * sat * tf
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One benchmark platform."""
+
+    name: str
+    cores_per_node: int
+    hw_threads_per_core: int
+    clock_hz: float
+    flops_per_core: float  # peak DP
+    ddr_bw: float  # node STREAM-like bandwidth (B/s)
+    network: NetworkSpec
+    #: fitted: sustained N-S time-advance rate (memory-bandwidth limited;
+    #: Mira's value is the paper's own Table 2 measurement, 1.16 GF/core)
+    advance_gflops_per_core: float = 1.16
+    #: fitted: sustained 1-D FFT rate per core
+    fft_gflops_per_core: float = 1.2
+    #: per-core cache a transform line should fit in (cache-penalty model)
+    cache_bytes: float = 32e3
+    #: fitted: weak-scaling FFT cache-penalty strength (paper §5.2)
+    cache_penalty_coeff: float = 0.12
+    #: on-node exchange bandwidth (shared-memory transpose legs), ~DDR/2
+    local_copy_frac: float = 0.5
+
+    @property
+    def node_flops(self) -> float:
+        return self.cores_per_node * self.flops_per_core
+
+    @property
+    def local_copy_bw(self) -> float:
+        return self.local_copy_frac * self.ddr_bw
+
+    def nodes(self, cores: int) -> int:
+        if cores % self.cores_per_node:
+            raise ValueError(
+                f"{cores} cores is not a whole number of {self.name} nodes "
+                f"({self.cores_per_node}/node)"
+            )
+        return cores // self.cores_per_node
+
+    def fft_line_penalty(self, line_points: int, itemsize: int = 16) -> float:
+        """Cache penalty for transform lines exceeding the per-core cache."""
+        import math
+
+        excess = line_points * itemsize / self.cache_bytes
+        if excess <= 1.0:
+            return 1.0
+        return 1.0 + self.cache_penalty_coeff * math.log2(excess)
+
+
+# ----------------------------------------------------------------------
+# The four systems of paper §3.
+# ----------------------------------------------------------------------
+
+#: Argonne Mira — BlueGene/Q: 16 PowerPC A2 cores @ 1.6 GHz, 4 HW
+#: threads/core, 5-D torus.  DDR: the paper's 18 B/cycle STREAM figure =
+#: 28.8 GB/s/node.  Effective all-to-all ~1 GB/s/node (Tables 5, 9).
+MIRA = MachineSpec(
+    name="Mira",
+    cores_per_node=16,
+    hw_threads_per_core=4,
+    clock_hz=1.6e9,
+    flops_per_core=12.8e9,
+    ddr_bw=28.8e9,
+    network=NetworkSpec(
+        kind="torus",
+        dims=5,
+        alltoall_bw=0.836e9,
+        latency=5.0e-7,
+        sat_coeff=7.07,
+        sat_power=0.727,
+        task_contention_eta=0.312,
+        midplane_nodes=512,
+        midplane_boost=2.4,
+    ),
+    advance_gflops_per_core=1.19,  # ~ Table 2's measured 1.16
+    fft_gflops_per_core=2.08,
+    cache_bytes=16e3,  # BG/Q L1d
+    cache_penalty_coeff=0.42,
+)
+
+#: TACC Lonestar 4 — Westmere X5680 3.33 GHz, 2 x 6 cores, QDR InfiniBand.
+LONESTAR = MachineSpec(
+    name="Lonestar",
+    cores_per_node=12,
+    hw_threads_per_core=1,
+    clock_hz=3.33e9,
+    flops_per_core=13.3e9,
+    ddr_bw=32.0e9,
+    network=NetworkSpec(
+        kind="fattree",
+        alltoall_bw=1.54e9,
+        latency=2.0e-6,
+        sat_nodes=16.0,
+        sat_exp=0.17,
+    ),
+    advance_gflops_per_core=3.19,
+    fft_gflops_per_core=3.63,
+    cache_bytes=32e3,
+    cache_penalty_coeff=0.15,
+)
+
+#: TACC Stampede — Sandy Bridge E5-2680 2.7 GHz, 16 cores, FDR InfiniBand.
+STAMPEDE = MachineSpec(
+    name="Stampede",
+    cores_per_node=16,
+    hw_threads_per_core=1,
+    clock_hz=2.7e9,
+    flops_per_core=21.6e9,
+    ddr_bw=51.2e9,
+    network=NetworkSpec(
+        kind="fattree",
+        alltoall_bw=2.62e9,
+        latency=1.8e-6,
+        sat_nodes=32.0,
+        sat_exp=0.38,
+    ),
+    advance_gflops_per_core=3.72,
+    fft_gflops_per_core=4.24,
+    cache_bytes=32e3,
+    cache_penalty_coeff=0.18,
+)
+
+#: NCSA Blue Waters — Cray XE6, AMD Interlagos 2.3 GHz, Gemini 3-D torus.
+#: Two nodes share one Gemini NIC: modest injection and severe all-to-all
+#: contention — the transpose collapse of Table 9 (§5.1).
+BLUE_WATERS = MachineSpec(
+    name="Blue Waters",
+    cores_per_node=16,  # Bulldozer FP modules, as the paper counts cores
+    hw_threads_per_core=1,
+    clock_hz=2.3e9,
+    flops_per_core=9.2e9,
+    ddr_bw=51.2e9,
+    network=NetworkSpec(
+        kind="torus",
+        dims=3,
+        alltoall_bw=0.89e9,
+        latency=1.8e-6,
+        sat_coeff=3.98,
+        sat_power=2.15,
+    ),
+    advance_gflops_per_core=1.81,
+    fft_gflops_per_core=2.07,
+    cache_bytes=16e3,
+    cache_penalty_coeff=0.09,
+)
+
+MACHINES = {m.name: m for m in (MIRA, LONESTAR, STAMPEDE, BLUE_WATERS)}

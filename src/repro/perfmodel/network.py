@@ -1,0 +1,117 @@
+"""Global transpose cost model (paper §4.3, §5).
+
+One pencil transpose within a sub-communicator of size ``P`` is an
+all-to-all: each task splits its local block into ``P`` chunks and
+exchanges them.  Its cost has an off-node part (limited by the fabric's
+effective all-to-all bandwidth at this scale and message size) and an
+on-node part (shared-memory copies between co-located tasks):
+
+    t = V_off / (bw_a2a(nodes) * f(msg)) + V_on / local_bw
+
+per node, where ``V_off``/``V_on`` aggregate the traffic of all tasks on
+one node, ``f`` is the message-size ramp, and chunks destined for the
+same sub-communicator batch across the fields moved together (the DNS
+moves 3 velocity fields down and 5 product fields up per pass — §5.3's
+message-size lever between MPI-everywhere and hybrid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class SubcommGeometry:
+    """Placement of one sub-communicator relative to node boundaries.
+
+    ``size``: members of the sub-communicator.
+    ``members_on_node``: of those, how many share this task's node.
+    """
+
+    size: int
+    members_on_node: int
+
+    @property
+    def off_node_fraction(self) -> float:
+        """Fraction of a task's exchanged data leaving the node."""
+        if self.size <= 1:
+            return 0.0
+        return (self.size - self.members_on_node) / self.size
+
+    @property
+    def on_node_fraction(self) -> float:
+        if self.size <= 1:
+            return 0.0
+        return (self.members_on_node - 1) / self.size
+
+
+def comm_geometry(sub_size: int, stride: int, tasks_per_node: int) -> SubcommGeometry:
+    """Geometry of a sub-communicator whose members are ``stride`` apart.
+
+    With ranks placed consecutively on nodes (the standard mapping), CommB
+    members are consecutive (stride 1) and CommA members are ``pb`` apart.
+    """
+    if stride < 1 or sub_size < 1:
+        raise ValueError("stride and sub_size must be positive")
+    if stride >= tasks_per_node:
+        members = 1
+    else:
+        members = max(1, min(sub_size, tasks_per_node // stride))
+    return SubcommGeometry(size=sub_size, members_on_node=members)
+
+
+class TransposeCostModel:
+    """Per-transpose time on one machine."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    def transpose_time(
+        self,
+        geometry: SubcommGeometry,
+        data_bytes_per_task: float,
+        tasks_per_node: int,
+        total_nodes: int,
+        batch_fields: int = 1,
+    ) -> float:
+        """Seconds for one global transpose of one field set.
+
+        ``data_bytes_per_task`` is one field's local block size;
+        ``batch_fields`` scales both volume and message size (fields moved
+        in the same pass share messages).
+        """
+        m = self.machine
+        net = m.network
+        if geometry.size <= 1:
+            return 0.0
+        volume_task = data_bytes_per_task * batch_fields
+        v_off = tasks_per_node * volume_task * geometry.off_node_fraction
+        v_on = tasks_per_node * volume_task * geometry.on_node_fraction
+        t = 0.0
+        if v_off > 0:
+            t += v_off / net.effective_bw(total_nodes, tasks_per_node)
+        if v_on > 0:
+            t += v_on / m.local_copy_bw
+        return t
+
+    def cycle_time(
+        self,
+        geom_a: SubcommGeometry,
+        geom_b: SubcommGeometry,
+        bytes_per_task_a: float,
+        bytes_per_task_b: float,
+        tasks_per_node: int,
+        total_nodes: int,
+        batch_fields: int = 1,
+    ) -> float:
+        """One full transpose cycle x->z->y then y->z->x (Table 5 protocol):
+        two CommA transposes + two CommB transposes."""
+        ta = self.transpose_time(
+            geom_a, bytes_per_task_a, tasks_per_node, total_nodes, batch_fields
+        )
+        tb = self.transpose_time(
+            geom_b, bytes_per_task_b, tasks_per_node, total_nodes, batch_fields
+        )
+        return 2.0 * (ta + tb)

@@ -1,0 +1,250 @@
+"""The paper's measured numbers, transcribed verbatim.
+
+Used by the benchmark harness to print paper-vs-reproduction tables and
+by golden-shape tests to check orderings/crossovers.  Sources: Lee,
+Malaya & Moser, SC13 (tables numbered as in the paper).
+"""
+
+from __future__ import annotations
+
+# Table 1 — elapsed time for solving a linear system, normalized by
+# Netlib LAPACK ZGBTRF/ZGBTRS.  N = 1024.
+TABLE1_BANDWIDTHS = [3, 5, 7, 9, 11, 13, 15]
+TABLE1 = {
+    # bandwidth: {column: normalized time}
+    3: {"MKL_R": 0.67, "MKL_C": 0.65, "Custom_Lonestar": 0.14, "ESSL": 0.81, "Custom_Mira": 0.16},
+    5: {"MKL_R": 0.55, "MKL_C": 0.61, "Custom_Lonestar": 0.12, "ESSL": 0.85, "Custom_Mira": 0.19},
+    7: {"MKL_R": 0.53, "MKL_C": 0.58, "Custom_Lonestar": 0.11, "ESSL": 0.81, "Custom_Mira": 0.19},
+    9: {"MKL_R": 0.53, "MKL_C": 0.56, "Custom_Lonestar": 0.10, "ESSL": 0.84, "Custom_Mira": 0.19},
+    11: {"MKL_R": 0.47, "MKL_C": 0.56, "Custom_Lonestar": 0.10, "ESSL": 0.88, "Custom_Mira": 0.19},
+    13: {"MKL_R": 0.45, "MKL_C": 0.55, "Custom_Lonestar": 0.11, "ESSL": 0.74, "Custom_Mira": 0.21},
+    15: {"MKL_R": 0.41, "MKL_C": 0.53, "Custom_Lonestar": 0.11, "ESSL": 0.71, "Custom_Mira": 0.20},
+}
+
+# Table 2 — single-core N-S time-advance performance on Mira (HPM).
+TABLE2 = {
+    "SIMD": {
+        "gflops": 4.96,
+        "gflops_pct": 38.8,
+        "ipc": 1.22,
+        "l1_pct": 98.01,
+        "l2_pct": 1.45,
+        "ddr_pct": 0.53,
+        "ddr_bytes_per_cycle": 14.2,
+        "elapsed": 3.96,
+    },
+    "NoSIMD": {
+        "gflops": 1.16,
+        "gflops_pct": 9.05,
+        "ipc": 0.89,
+        "l1_pct": 98.2,
+        "l2_pct": 0.92,
+        "ddr_pct": 0.88,
+        "ddr_bytes_per_cycle": 16.8,
+        "elapsed": 3.34,
+    },
+}
+
+# Table 3 — single-node threading speedups of FFT / N-S time advance.
+TABLE3_LONESTAR = {  # cores: (fft speedup, advance speedup)
+    2: (2.03, 1.99),
+    3: (3.18, 2.98),
+    4: (4.07, 3.65),
+    5: (4.88, 4.77),
+    6: (5.49, 5.70),
+}
+TABLE3_MIRA = {  # threads (16x2 = 32 etc.): (fft speedup, advance speedup)
+    2: (1.99, 2.00),
+    4: (3.96, 4.00),
+    8: (7.88, 7.97),
+    16: (15.4, 15.9),
+    32: (27.6, 29.9),
+    64: (32.6, 34.5),
+}
+
+# Table 4 — single-node data-reordering threading on Mira.
+TABLE4_MIRA = {  # threads: (ddr bytes/cycle, speedup)
+    2: (3.8, 1.98),
+    4: (7.6, 3.90),
+    8: (13.6, 5.54),
+    16: (16.1, 6.24),
+    32: (15.8, 5.99),
+    64: (13.6, 5.56),
+}
+
+# Table 5 — global MPI communication, one full transpose cycle.
+# (CommA, CommB): elapsed seconds.
+TABLE5_MIRA = {  # 8192 cores, grid 2048 x 1024 x 1024
+    (512, 16): 0.386,
+    (256, 32): 0.462,
+    (128, 64): 0.593,
+    (64, 128): 0.609,
+    (32, 256): 0.614,
+    (16, 512): 0.626,
+}
+TABLE5_LONESTAR = {  # 384 cores, grid 1536 x 384 x 1024
+    (32, 12): 2.966,
+    (16, 24): 3.317,
+    (8, 48): 3.669,
+    (4, 96): 3.775,
+}
+
+# Table 6 — strong scaling of the parallel FFT: cores -> (p3dfft, custom)
+# seconds; None = insufficient memory.
+TABLE6_MIRA_SMALL = {  # grid 2048 x 1024 x 1024
+    128: (11.5, 5.38),
+    256: (5.88, 2.78),
+    512: (2.95, 1.18),
+    1024: (1.46, 0.580),
+    2048: (0.724, 0.287),
+    4096: (0.360, 0.139),
+    8192: (0.179, 0.068),
+}
+TABLE6_MIRA_LARGE = {  # grid 18432 x 12288 x 12288
+    65536: (None, 30.5),
+    131072: (None, 16.2),
+    262144: (12.4, 8.51),
+    393216: (10.1, 5.85),
+    524288: (6.90, 4.04),
+    786432: (4.55, 3.12),
+}
+TABLE6_LONESTAR = {  # grid 768 x 768 x 768
+    12: (None, 6.00),
+    24: (2.67, 3.63),
+    48: (1.57, 2.13),
+    96: (0.873, 1.12),
+    192: (0.547, 0.580),
+    384: (0.294, 0.297),
+    768: (0.212, 0.172),
+    1536: (0.193, 0.111),
+}
+TABLE6_STAMPEDE = {  # grid 1024 x 1024 x 1024
+    16: (None, 6.88),
+    32: (None, 4.42),
+    64: (2.16, 2.51),
+    128: (1.32, 1.39),
+    256: (0.676, 0.718),
+    512: (0.421, 0.377),
+    1024: (0.296, 0.199),
+    2048: (0.201, 0.113),
+    4096: (0.194, 0.0636),
+}
+
+# Table 7 — strong-scaling grids: system -> (nx, ny, nz).
+TABLE7 = {
+    "Mira": (18432, 1536, 12288),
+    "Lonestar": (1024, 384, 1536),
+    "Stampede": (2048, 512, 4096),
+    "Blue Waters": (2048, 1024, 2048),
+}
+
+# Table 8 — weak-scaling grids: system -> (list of nx, ny, nz).
+TABLE8 = {
+    "Mira": ([4608, 9216, 18432, 27648, 36864, 55296], 1536, 12288),
+    "Lonestar": ([512, 1024, 2048, 4096], 384, 1536),
+    "Stampede": ([512, 1024, 2048, 4096], 512, 4096),
+    "Blue Waters": ([1024, 2048, 4096, 8192], 1024, 2048),
+}
+
+# Table 9 — strong scaling of a full timestep:
+# system -> {cores: (transpose, fft, advance, total)} seconds.
+TABLE9 = {
+    "Mira (MPI)": {
+        131072: (26.9, 7.32, 6.98, 41.2),
+        262144: (13.6, 4.02, 3.44, 21.1),
+        393216: (8.92, 2.61, 2.28, 13.8),
+        524288: (6.81, 2.09, 1.75, 10.6),
+        786432: (4.50, 1.36, 1.21, 7.06),
+    },
+    "Mira (Hybrid)": {
+        65536: (39.8, 13.8, 13.6, 67.2),
+        131072: (20.9, 7.03, 6.76, 34.7),
+        262144: (11.8, 3.61, 3.34, 18.7),
+        393216: (8.83, 2.43, 2.22, 13.5),
+        524288: (5.73, 1.89, 1.67, 9.29),
+        786432: (4.70, 1.27, 1.11, 7.09),
+    },
+    "Lonestar": {
+        192: (9.53, 2.06, 3.00, 14.6),
+        384: (4.70, 1.04, 1.50, 7.24),
+        768: (2.38, 0.51, 0.75, 3.65),
+        1536: (1.29, 0.26, 0.37, 1.93),
+    },
+    "Stampede": {
+        512: (18.9, 5.30, 6.85, 31.0),
+        1024: (10.9, 2.68, 3.40, 17.0),
+        2048: (7.60, 1.36, 1.72, 10.7),
+        4096: (3.83, 0.67, 0.84, 5.35),
+    },
+    "Blue Waters": {
+        2048: (17.9, 2.73, 3.53, 24.2),
+        4096: (16.2, 1.37, 1.76, 19.4),
+        8192: (16.2, 0.650, 0.880, 17.7),
+        16384: (9.88, 0.356, 0.440, 10.7),
+    },
+}
+
+# Table 10 — weak scaling of a full timestep (same layout as Table 9).
+TABLE10 = {
+    "Mira (MPI)": {
+        65536: (9.87, 3.30, 3.46, 16.6),
+        131072: (13.6, 3.52, 3.45, 20.6),
+        262144: (13.6, 4.02, 3.44, 21.1),
+        393216: (16.0, 4.41, 3.43, 23.9),
+        524288: (13.5, 5.50, 3.48, 22.5),
+        786432: (13.7, 7.28, 3.50, 24.5),
+    },
+    "Mira (Hybrid)": {
+        65536: (9.83, 3.17, 3.34, 16.3),
+        131072: (10.3, 3.36, 3.34, 17.0),
+        262144: (11.8, 3.61, 3.34, 18.7),
+        393216: (13.4, 4.14, 3.34, 20.8),
+        524288: (11.8, 5.08, 3.35, 20.2),
+        786432: (14.5, 7.60, 3.34, 25.5),
+    },
+    "Lonestar": {
+        192: (4.73, 1.00, 1.51, 7.24),
+        384: (4.70, 1.04, 1.50, 7.24),
+        768: (4.70, 1.17, 1.50, 7.37),
+        1536: (5.01, 1.31, 1.50, 7.81),
+    },
+    "Stampede": {
+        512: (4.85, 1.21, 1.71, 7.77),
+        1024: (5.66, 1.24, 1.75, 8.65),
+        2048: (6.78, 1.34, 1.73, 9.86),
+        4096: (7.11, 1.47, 1.73, 10.3),
+    },
+    "Blue Waters": {
+        2048: (11.1, 1.26, 1.76, 14.1),
+        4096: (16.2, 1.37, 1.76, 19.4),
+        8192: (20.44, 1.49, 1.76, 23.7),
+        16384: (25.66, 1.70, 1.76, 29.1),
+    },
+}
+
+# Table 11 — MPI vs Hybrid total seconds on Mira.
+TABLE11_STRONG = {  # cores: (mpi, hybrid)
+    131072: (41.2, 34.7),
+    262144: (21.1, 18.7),
+    393216: (13.8, 13.5),
+    524288: (10.6, 9.29),
+    786432: (7.06, 7.09),
+}
+TABLE11_WEAK = {
+    65536: (16.6, 16.3),
+    131072: (20.6, 17.0),
+    262144: (21.1, 18.7),
+    393216: (23.9, 20.8),
+    524288: (22.5, 20.2),
+    786432: (24.5, 25.5),
+}
+
+# §5.1/§5.3 headline numbers.
+HEADLINES = {
+    "strong_scaling_efficiency_786k_vs_65k_hybrid": 0.79,
+    "strong_scaling_efficiency_786k_vs_131k_mpi": 0.971,
+    "aggregate_tflops_786k": 271.0,
+    "aggregate_pct_peak": 2.7,
+    "on_node_tflops_786k": 906.0,
+    "production_dof": 242e9,
+}

@@ -1,0 +1,89 @@
+"""Production-run planning (paper §6).
+
+The paper's science run: Re_tau ≈ 5200 on a 10240 x 1536 x 7680
+Fourier/B-spline grid (242 billion DOF), on 32 racks of Mira (524,288
+cores), for ~13 flow-throughs at ~50,000 steps each — 650,000 steps and
+about 260 million core-hours.  This module reproduces that arithmetic
+from the calibrated machine model: given a grid, a machine and a core
+count, it prices the whole campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MIRA, MachineSpec
+from repro.perfmodel.timestep import ParallelLayout, TimestepModel
+
+#: the paper's production configuration (§6)
+PRODUCTION_GRID = (10240, 1536, 7680)
+PRODUCTION_CORES = 524288
+FLOW_THROUGHS = 13
+STEPS_PER_FLOW_THROUGH = 50_000
+PAPER_CORE_HOURS = 260e6
+PAPER_DOF = 242e9
+
+
+@dataclass
+class CampaignEstimate:
+    """Cost estimate of a DNS campaign."""
+
+    seconds_per_step: float
+    total_steps: int
+    cores: int
+
+    @property
+    def wall_days(self) -> float:
+        return self.seconds_per_step * self.total_steps / 86400.0
+
+    @property
+    def core_hours(self) -> float:
+        return self.seconds_per_step * self.total_steps * self.cores / 3600.0
+
+
+def plan_campaign(
+    machine: MachineSpec = MIRA,
+    grid: tuple[int, int, int] = PRODUCTION_GRID,
+    cores: int = PRODUCTION_CORES,
+    mode: str = "hybrid",
+    flow_throughs: float = FLOW_THROUGHS,
+    steps_per_flow_through: int = STEPS_PER_FLOW_THROUGH,
+) -> CampaignEstimate:
+    """Price a production campaign with the calibrated timestep model."""
+    model = TimestepModel(machine, *grid)
+    layout = ParallelLayout(machine, cores, mode=mode)
+    t_step = model.section_times(layout).total
+    return CampaignEstimate(
+        seconds_per_step=t_step,
+        total_steps=int(round(flow_throughs * steps_per_flow_through)),
+        cores=cores,
+    )
+
+
+def degrees_of_freedom(grid: tuple[int, int, int]) -> float:
+    """Velocity DOF as the paper counts them (3 components, spectral modes)."""
+    nx, ny, nz = grid
+    return 3.0 * (nx // 2) * (nz - 1) * ny
+
+
+def memory_footprint_bytes(grid: tuple[int, int, int], fields: int = 12) -> float:
+    """Rough state + work memory: ``fields`` complex spectral fields.
+
+    Three velocities, two state variables, previous nonlinear terms and
+    transform workspace — about a dozen field-sized arrays.
+    """
+    nx, ny, nz = grid
+    return fields * (nx // 2) * (nz - 1) * ny * 16.0
+
+
+def comparison_dof() -> dict[str, float]:
+    """The paper's size claims: vs Kaneda et al. 2003 (isotropic, 4096³)
+    and Hoyas & Jiménez 2006 (channel, Re_tau = 2003)."""
+    kaneda = 3.0 * 4096**3  # 2 x 10^11 velocity DOF (they quote modes)
+    hoyas = 3.0 * (6144 // 2) * (4608 - 1) * 633  # approximate HJ06 grid
+    ours = degrees_of_freedom(PRODUCTION_GRID)
+    return {
+        "production": ours,
+        "kaneda_ratio": ours / (kaneda / 3.0 * 1.0),  # order-1 bookkeeping
+        "hoyas_ratio": ours / hoyas,
+    }

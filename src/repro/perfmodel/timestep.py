@@ -1,0 +1,196 @@
+"""Full-timestep performance composition (paper §5, Tables 5 & 9-11).
+
+A :class:`ParallelLayout` fixes how the job maps onto a machine —
+MPI-everywhere (one task per core) or hybrid (one task per node, threads
+inside) and the ``PA x PB`` task grid.  :class:`TimestepModel` then
+prices one RK3 timestep as the paper's three sections:
+
+* **Transpose** — 4 transpose events per substep (3 fields down through
+  CommB and CommA, 5 fields back up), costed by the network model,
+* **FFT** — flop counts over the sustained per-core FFT rate, with the
+  weak-scaling cache penalty on the x lines (§5.2),
+* **N-S time advance** — banded-solve flops over the memory-bandwidth-
+  limited sustained rate (Table 2's 1.16 GF/core on Mira).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.kernels import SUBSTEPS, BACKWARD_FIELDS, FORWARD_FIELDS, GridCounts
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.network import TransposeCostModel, comm_geometry
+
+
+def _largest_divisor_at_most(n: int, bound: int) -> int:
+    for d in range(min(bound, n), 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """How the job is laid out on the machine.
+
+    ``mode``: ``"mpi"`` = one task per core; ``"hybrid"`` = one task per
+    node with OpenMP threads covering the cores (§5.3).  ``pb`` is the
+    CommB extent; by default it is chosen node-local for MPI (the Table 5
+    winner) and a modest power of two for hybrid.
+    """
+
+    machine: MachineSpec
+    cores: int
+    mode: str = "mpi"
+    pb: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("mpi", "hybrid"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        self.machine.nodes(self.cores)  # validates divisibility
+
+    @property
+    def nodes(self) -> int:
+        return self.machine.nodes(self.cores)
+
+    @property
+    def tasks(self) -> int:
+        return self.cores if self.mode == "mpi" else self.nodes
+
+    @property
+    def tasks_per_node(self) -> int:
+        return self.machine.cores_per_node if self.mode == "mpi" else 1
+
+    @property
+    def comm_b_size(self) -> int:
+        if self.pb is not None:
+            if self.tasks % self.pb:
+                raise ValueError(f"pb={self.pb} does not divide {self.tasks} tasks")
+            return self.pb
+        if self.mode == "mpi":
+            # node-local CommB — the paper's production choice
+            return _largest_divisor_at_most(self.tasks, self.machine.cores_per_node)
+        return _largest_divisor_at_most(self.tasks, 16)
+
+    @property
+    def comm_a_size(self) -> int:
+        return self.tasks // self.comm_b_size
+
+    def geometries(self):
+        pb = self.comm_b_size
+        pa = self.comm_a_size
+        geom_b = comm_geometry(pb, stride=1, tasks_per_node=self.tasks_per_node)
+        geom_a = comm_geometry(pa, stride=pb, tasks_per_node=self.tasks_per_node)
+        return geom_a, geom_b
+
+
+@dataclass
+class SectionTimes:
+    """The Table 9/10 row: seconds per timestep by section."""
+
+    transpose: float
+    fft: float
+    advance: float
+
+    @property
+    def total(self) -> float:
+        return self.transpose + self.fft + self.advance
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.transpose, self.fft, self.advance, self.total)
+
+
+class TimestepModel:
+    """Model of one RK3 DNS timestep on a machine."""
+
+    def __init__(self, machine: MachineSpec, nx: int, ny: int, nz: int) -> None:
+        self.machine = machine
+        self.counts = GridCounts(nx=nx, ny=ny, nz=nz, dealias=True)
+        self.net = TransposeCostModel(machine)
+
+    # ------------------------------------------------------------------
+
+    def transpose_time(self, layout: ParallelLayout) -> float:
+        c = self.counts
+        geom_a, geom_b = layout.geometries()
+        per_task_yz = c.yz_bytes() / layout.tasks
+        per_task_zx = c.zx_bytes() / layout.tasks
+        t = 0.0
+        for batch in (FORWARD_FIELDS, BACKWARD_FIELDS):
+            t += self.net.transpose_time(
+                geom_b, per_task_yz, layout.tasks_per_node, layout.nodes, batch
+            )
+            t += self.net.transpose_time(
+                geom_a, per_task_zx, layout.tasks_per_node, layout.nodes, batch
+            )
+        return SUBSTEPS * t
+
+    def fft_time(self, layout: ParallelLayout) -> float:
+        m = self.machine
+        c = self.counts
+        z_flops, x_flops = c.fft_flops_per_step()
+        # weak-scaling cache penalty applies to the x (growing) lines
+        penalty = m.fft_line_penalty(c.nxq, itemsize=8)
+        rate = layout.cores * m.fft_gflops_per_core * 1e9
+        return (z_flops + x_flops * penalty) / rate
+
+    def advance_time(self, layout: ParallelLayout) -> float:
+        m = self.machine
+        return self.counts.advance_flops_per_step() / (
+            layout.cores * m.advance_gflops_per_core * 1e9
+        )
+
+    def section_times(self, layout: ParallelLayout) -> SectionTimes:
+        return SectionTimes(
+            transpose=self.transpose_time(layout),
+            fft=self.fft_time(layout),
+            advance=self.advance_time(layout),
+        )
+
+    # ------------------------------------------------------------------
+    # Table 5: CommA x CommB sweep (single-field transpose cycles)
+    # ------------------------------------------------------------------
+
+    def comm_grid_sweep(
+        self, cores: int, grids: list[tuple[int, int]], mode: str = "mpi"
+    ) -> dict[tuple[int, int], float]:
+        """Time one full x->z->y->z->x cycle for each (pa, pb) split.
+
+        Matches the Table 5 protocol: a single field, no dealiasing pads
+        timed separately (the cycle moves the padded z-pencil sizes as in
+        production).
+        """
+        out = {}
+        for pa, pb in grids:
+            layout = ParallelLayout(self.machine, cores, mode=mode, pb=pb)
+            if layout.tasks != pa * pb:
+                raise ValueError(f"(pa, pb) = {(pa, pb)} does not cover {layout.tasks} tasks")
+            geom_a, geom_b = layout.geometries()
+            per_task_yz = self.counts.yz_bytes() / layout.tasks
+            per_task_zx = self.counts.zx_bytes() / layout.tasks
+            out[(pa, pb)] = self.net.cycle_time(
+                geom_a,
+                geom_b,
+                per_task_zx,
+                per_task_yz,
+                layout.tasks_per_node,
+                layout.nodes,
+                batch_fields=1,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # aggregate flop-rate headline (§5.3)
+    # ------------------------------------------------------------------
+
+    def aggregate_flops(self, layout: ParallelLayout) -> dict[str, float]:
+        """Sustained aggregate rate over a timestep and the on-node rate."""
+        times = self.section_times(layout)
+        z_flops, x_flops = self.counts.fft_flops_per_step()
+        flops = z_flops + x_flops + self.counts.advance_flops_per_step()
+        on_node_time = times.fft + times.advance
+        return {
+            "total_flops": flops / times.total,
+            "on_node_flops": flops / on_node_time,
+            "peak_fraction": flops / times.total / (layout.nodes * self.machine.node_flops),
+        }

@@ -1,0 +1,36 @@
+"""Turbulence statistics references and field visualisation (Figs. 5-8).
+
+* :mod:`repro.stats.lawofwall` — mean-velocity reference curves (viscous
+  sublayer, log law, Reichardt's composite profile) and empirical
+  variance shapes for the Fig. 5/6 overlays at arbitrary Re_tau,
+* :mod:`repro.stats.fields` — instantaneous-field extraction (streamwise
+  velocity planes, spanwise vorticity near the wall) with a text-mode
+  renderer for Figs. 7/8,
+* :mod:`repro.stats.spectra` — 1-D streamwise/spanwise energy spectra
+  (the resolution diagnostic spectral DNS lives by).
+"""
+
+from repro.stats.lawofwall import (
+    log_law,
+    reichardt,
+    variance_reference,
+    viscous_sublayer,
+)
+from repro.stats.fields import (
+    ascii_contour,
+    spanwise_vorticity_plane,
+    streamwise_velocity_plane,
+)
+from repro.stats.spectra import energy_spectrum_x, energy_spectrum_z
+
+__all__ = [
+    "ascii_contour",
+    "energy_spectrum_x",
+    "energy_spectrum_z",
+    "log_law",
+    "reichardt",
+    "spanwise_vorticity_plane",
+    "streamwise_velocity_plane",
+    "variance_reference",
+    "viscous_sublayer",
+]

@@ -1,0 +1,120 @@
+"""de Boor basis function evaluation tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsplines.basis import (
+    all_basis_functions,
+    basis_function_derivatives,
+    basis_functions,
+    find_span,
+)
+from repro.bsplines.knots import clamped_knots, uniform_breakpoints
+
+
+def make_knots(nintervals=8, degree=5):
+    return clamped_knots(uniform_breakpoints(nintervals), degree), degree
+
+
+class TestFindSpan:
+    def test_interior(self):
+        knots, p = make_knots()
+        span = find_span(knots, p, 0.1)
+        assert knots[span] <= 0.1 < knots[span + 1]
+
+    def test_left_endpoint(self):
+        knots, p = make_knots()
+        assert find_span(knots, p, -1.0) == p
+
+    def test_right_endpoint_is_last_real_span(self):
+        knots, p = make_knots()
+        span = find_span(knots, p, 1.0)
+        assert knots[span] < knots[span + 1]
+        assert knots[span + 1] == 1.0
+
+    def test_outside_raises(self):
+        knots, p = make_knots()
+        with pytest.raises(ValueError):
+            find_span(knots, p, 1.5)
+
+
+class TestBasisFunctions:
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_of_unity(self, x):
+        """B-spline values are non-negative and sum to one everywhere."""
+        knots, p = make_knots()
+        _, vals = basis_functions(knots, p, x)
+        assert np.all(vals >= -1e-14)
+        assert abs(vals.sum() - 1.0) < 1e-12
+
+    def test_endpoint_interpolation(self):
+        """Clamped splines: only the first basis function is 1 at the left wall."""
+        knots, p = make_knots()
+        span, vals = basis_functions(knots, p, -1.0)
+        assert span == p
+        np.testing.assert_allclose(vals, np.eye(p + 1)[0], atol=1e-14)
+
+    def test_matches_scipy(self):
+        """Cross-check against scipy's independent BSpline implementation."""
+        from scipy.interpolate import BSpline
+
+        knots, p = make_knots(10, 7)
+        n = len(knots) - p - 1
+        xs = np.linspace(-1, 1, 37)
+        for j in range(n):
+            c = np.zeros(n)
+            c[j] = 1.0
+            ref = BSpline(knots, c, p)(xs)
+            ours = np.zeros_like(xs)
+            for i, x in enumerate(xs):
+                span, vals = basis_functions(knots, p, x)
+                lo = span - p
+                if lo <= j <= span:
+                    ours[i] = vals[j - lo]
+            np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+
+class TestDerivatives:
+    def test_zeroth_derivative_matches_values(self):
+        knots, p = make_knots()
+        for x in [-0.9, -0.3, 0.0, 0.51, 1.0]:
+            s1, vals = basis_functions(knots, p, x)
+            s2, ders = basis_function_derivatives(knots, p, x, 2)
+            assert s1 == s2
+            np.testing.assert_allclose(ders[0], vals, atol=1e-13)
+
+    def test_derivative_sum_is_zero(self):
+        """d/dx of the partition of unity: derivatives sum to zero."""
+        knots, p = make_knots()
+        for x in np.linspace(-0.99, 0.99, 11):
+            _, ders = basis_function_derivatives(knots, p, x, 2)
+            assert abs(ders[1].sum()) < 1e-10
+            assert abs(ders[2].sum()) < 1e-9
+
+    def test_finite_difference_consistency(self):
+        knots, p = make_knots(12, 6)
+        x, h = 0.3123, 1e-6
+        span = find_span(knots, p, x)
+        _, d0m = basis_function_derivatives(knots, p, x - h, 0, span=span)
+        _, d0p = basis_function_derivatives(knots, p, x + h, 0, span=span)
+        _, d1 = basis_function_derivatives(knots, p, x, 1, span=span)
+        np.testing.assert_allclose((d0p[0] - d0m[0]) / (2 * h), d1[1], rtol=1e-4, atol=1e-6)
+
+    def test_derivatives_beyond_degree_vanish(self):
+        knots, p = make_knots(6, 3)
+        _, ders = basis_function_derivatives(knots, p, 0.2, p + 2)
+        np.testing.assert_allclose(ders[p + 1 :], 0.0, atol=1e-9)
+
+
+class TestAllBasisFunctions:
+    def test_batch_matches_scalar(self):
+        knots, p = make_knots()
+        xs = np.linspace(-1, 1, 9)
+        spans, ders = all_basis_functions(knots, p, xs, nderiv=1)
+        for i, x in enumerate(xs):
+            s, d = basis_function_derivatives(knots, p, x, 1)
+            assert spans[i] == s
+            np.testing.assert_allclose(ders[i], d)

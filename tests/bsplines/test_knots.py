@@ -1,0 +1,79 @@
+"""Knot vector and breakpoint distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.bsplines.knots import (
+    channel_breakpoints,
+    clamped_knots,
+    num_basis,
+    uniform_breakpoints,
+)
+
+
+class TestUniformBreakpoints:
+    def test_count_and_range(self):
+        bp = uniform_breakpoints(10)
+        assert bp.shape == (11,)
+        assert bp[0] == -1.0 and bp[-1] == 1.0
+
+    def test_custom_interval(self):
+        bp = uniform_breakpoints(4, a=0.0, b=2.0)
+        np.testing.assert_allclose(bp, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(ValueError):
+            uniform_breakpoints(0)
+
+
+class TestChannelBreakpoints:
+    def test_endpoints_exact(self):
+        bp = channel_breakpoints(16, stretch=3.0)
+        assert bp[0] == -1.0 and bp[-1] == 1.0
+
+    def test_monotone(self):
+        bp = channel_breakpoints(32, stretch=2.5)
+        assert np.all(np.diff(bp) > 0)
+
+    def test_wall_clustering(self):
+        """Stretched grid has smaller intervals at the walls than centre."""
+        bp = channel_breakpoints(32, stretch=2.0)
+        d = np.diff(bp)
+        assert d[0] < d[len(d) // 2]
+        assert d[-1] < d[len(d) // 2]
+
+    def test_zero_stretch_is_uniform(self):
+        bp = channel_breakpoints(8, stretch=0.0)
+        np.testing.assert_allclose(bp, uniform_breakpoints(8), atol=1e-15)
+
+    def test_symmetric_about_centre(self):
+        bp = channel_breakpoints(20, stretch=1.7)
+        np.testing.assert_allclose(bp, -bp[::-1], atol=1e-15)
+
+    def test_rejects_negative_stretch(self):
+        with pytest.raises(ValueError):
+            channel_breakpoints(8, stretch=-1.0)
+
+
+class TestClampedKnots:
+    def test_multiplicity(self):
+        bp = uniform_breakpoints(5)
+        p = 3
+        knots = clamped_knots(bp, p)
+        assert np.all(knots[:p + 1] == bp[0])
+        assert np.all(knots[-(p + 1):] == bp[-1])
+
+    def test_length_and_num_basis(self):
+        bp = uniform_breakpoints(9)  # 10 breakpoints
+        p = 7
+        knots = clamped_knots(bp, p)
+        assert len(knots) == 10 + 2 * p
+        assert num_basis(bp, p) == 10 + p - 1
+
+    def test_rejects_nonmonotone(self):
+        with pytest.raises(ValueError):
+            clamped_knots(np.array([0.0, 0.5, 0.5, 1.0]), 3)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            clamped_knots(uniform_breakpoints(4), 0)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bsplines import BSplineBasis
+from repro.core.grid import ChannelGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def basis() -> BSplineBasis:
+    """Moderate-size degree-7 basis with wall clustering."""
+    return BSplineBasis(24, degree=7, stretch=2.0)
+
+
+@pytest.fixture
+def small_grid() -> ChannelGrid:
+    """Small channel grid for integration-level tests."""
+    return ChannelGrid(nx=16, ny=24, nz=16)

@@ -1,0 +1,88 @@
+"""Checkpoint/restart tests: exact continuation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.checkpoint import save_checkpoint, load_checkpoint
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=13)
+
+
+@pytest.fixture
+def ckpt_path(tmp_path):
+    return tmp_path / "state.npz"
+
+
+class TestRoundTrip:
+    def test_state_preserved(self, ckpt_path):
+        dns = ChannelDNS(CFG)
+        dns.initialize()
+        dns.run(3)
+        save_checkpoint(dns, ckpt_path)
+        restored = load_checkpoint(ckpt_path)
+        np.testing.assert_array_equal(restored.state.v, dns.state.v)
+        np.testing.assert_array_equal(restored.state.omega_y, dns.state.omega_y)
+        np.testing.assert_array_equal(restored.state.u00, dns.state.u00)
+        assert restored.state.time == dns.state.time
+        assert restored.step_count == 3
+
+    def test_restart_is_bit_exact_continuation(self, ckpt_path):
+        """Run 6 steps straight vs 3 + checkpoint + restart + 3."""
+        straight = ChannelDNS(CFG)
+        straight.initialize()
+        straight.run(6)
+
+        first = ChannelDNS(CFG)
+        first.initialize()
+        first.run(3)
+        save_checkpoint(first, ckpt_path)
+        second = load_checkpoint(ckpt_path)
+        second.run(3)
+
+        np.testing.assert_array_equal(second.state.v, straight.state.v)
+        np.testing.assert_array_equal(second.state.omega_y, straight.state.omega_y)
+        np.testing.assert_array_equal(second.state.u00, straight.state.u00)
+
+    def test_config_reconstructed(self, ckpt_path):
+        dns = ChannelDNS(CFG)
+        dns.initialize()
+        save_checkpoint(dns, ckpt_path)
+        restored = load_checkpoint(ckpt_path)
+        assert restored.config.nx == CFG.nx
+        assert restored.config.re_tau == CFG.re_tau
+        assert restored.config.nu == pytest.approx(CFG.nu)
+
+    def test_explicit_config_must_match_grid(self, ckpt_path):
+        dns = ChannelDNS(CFG)
+        dns.initialize()
+        save_checkpoint(dns, ckpt_path)
+        other = ChannelConfig(nx=32, ny=24, nz=16)
+        with pytest.raises(ValueError, match="grid mismatch"):
+            load_checkpoint(ckpt_path, config=other)
+
+    def test_dt_may_change_on_restart(self, ckpt_path):
+        """Restarting with a different dt is legitimate (grid must match)."""
+        dns = ChannelDNS(CFG)
+        dns.initialize()
+        dns.run(1)
+        save_checkpoint(dns, ckpt_path)
+        new_cfg = ChannelConfig(**{**CFG.__dict__, "dt": 1e-4})
+        restored = load_checkpoint(ckpt_path, config=new_cfg)
+        restored.run(1)
+        assert restored.state.time == pytest.approx(dns.state.time + 1e-4)
+
+    def test_uninitialized_raises(self, ckpt_path):
+        dns = ChannelDNS(CFG)
+        with pytest.raises(RuntimeError):
+            save_checkpoint(dns, ckpt_path)
+
+    def test_unsupported_version_raises(self, ckpt_path):
+        dns = ChannelDNS(CFG)
+        dns.initialize()
+        save_checkpoint(dns, ckpt_path)
+        data = dict(np.load(ckpt_path, allow_pickle=False))
+        data["format_version"] = 99
+        np.savez_compressed(ckpt_path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_checkpoint(ckpt_path)

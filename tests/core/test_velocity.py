@@ -1,0 +1,78 @@
+"""Velocity recovery (step j) and divergence diagnostics."""
+
+import numpy as np
+
+from repro.core.grid import ChannelGrid
+from repro.core.operators import WallNormalOps
+from repro.core.velocity import divergence, recover_uw, wall_normal_vorticity
+
+
+def wall_compatible_state(grid, rng):
+    """Random (v, omega_y) satisfying v = v' = 0 and omega_y = 0 at walls."""
+    y = grid.y
+    a_gv = grid.basis.interpolate((1 - y * y) ** 2)
+    a_gw = grid.basis.interpolate(1 - y * y)
+    shape = grid.spectral_shape
+    cv = (rng.standard_normal(shape[:2]) + 1j * rng.standard_normal(shape[:2]))[..., None]
+    cw = (rng.standard_normal(shape[:2]) + 1j * rng.standard_normal(shape[:2]))[..., None]
+    v = cv * a_gv
+    omega = cw * a_gw
+    v[0, 0] = 0.0
+    omega[0, 0] = 0.0
+    return v, omega
+
+
+class TestRecovery:
+    def test_divergence_free(self, small_grid, rng):
+        g = small_grid
+        ops = WallNormalOps(g)
+        v, omega = wall_compatible_state(g, rng)
+        u00 = g.basis.interpolate(1 - g.y**2)
+        w00 = np.zeros(g.ny)
+        u, w = recover_uw(g.modes, ops, v, omega, u00, w00)
+        div = divergence(g.modes, ops, u, v, w)
+        assert np.abs(div).max() < 1e-10
+
+    def test_vorticity_roundtrip(self, small_grid, rng):
+        """omega_y(recovered u, w) reproduces the input omega_y."""
+        g = small_grid
+        ops = WallNormalOps(g)
+        v, omega = wall_compatible_state(g, rng)
+        u, w = recover_uw(g.modes, ops, v, omega, np.zeros(g.ny), np.zeros(g.ny))
+        omega2 = wall_normal_vorticity(g.modes, u, w)
+        omega2[0, 0] = 0.0
+        np.testing.assert_allclose(omega2, omega, atol=1e-10)
+
+    def test_mean_mode_passthrough(self, small_grid, rng):
+        g = small_grid
+        ops = WallNormalOps(g)
+        v, omega = wall_compatible_state(g, rng)
+        u00 = rng.standard_normal(g.ny)
+        w00 = rng.standard_normal(g.ny)
+        u, w = recover_uw(g.modes, ops, v, omega, u00, w00)
+        np.testing.assert_array_equal(u[0, 0], u00)
+        np.testing.assert_array_equal(w[0, 0], w00)
+
+    def test_known_single_mode(self):
+        """u = cos(kz z) f(y): recovery from omega_y = ikz u must return it."""
+        g = ChannelGrid(nx=16, ny=24, nz=16, lz=2 * np.pi)
+        ops = WallNormalOps(g)
+        af = g.basis.interpolate(np.cos(np.pi * g.y / 2))
+        v = np.zeros(g.spectral_shape, complex)
+        omega = np.zeros(g.spectral_shape, complex)
+        kz1 = g.kz[1]
+        omega[0, 1] = 1j * kz1 * 0.5 * af
+        omega[0, g.mz - 1] = np.conj(omega[0, 1])
+        u, w = recover_uw(g.modes, ops, v, omega, np.zeros(g.ny), np.zeros(g.ny))
+        np.testing.assert_allclose(u[0, 1], 0.5 * af, atol=1e-12)
+        np.testing.assert_allclose(np.abs(w).max(), 0.0, atol=1e-12)
+
+    def test_no_slip_at_walls(self, small_grid, rng):
+        g = small_grid
+        ops = WallNormalOps(g)
+        v, omega = wall_compatible_state(g, rng)
+        u, w = recover_uw(g.modes, ops, v, omega, np.zeros(g.ny), np.zeros(g.ny))
+        for f in (u, w, v):
+            vals = ops.values(f)
+            assert np.abs(vals[..., 0]).max() < 1e-10
+            assert np.abs(vals[..., -1]).max() < 1e-10

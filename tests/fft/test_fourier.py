@@ -1,0 +1,163 @@
+"""Nyquist-free transforms and 3/2 dealiasing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.fourier import (
+    complex_modes,
+    fft_wavenumbers,
+    forward_c2c,
+    forward_r2c,
+    inverse_c2c,
+    inverse_c2r,
+    pad_for_quadrature_c,
+    pad_for_quadrature_r,
+    quadrature_points,
+    real_modes,
+    rfft_wavenumbers,
+    truncate_from_quadrature_c,
+    truncate_from_quadrature_r,
+)
+
+
+class TestModeCounts:
+    def test_real_modes(self):
+        assert real_modes(16) == 8
+
+    def test_complex_modes(self):
+        assert complex_modes(16) == 15
+
+    def test_quadrature_points(self):
+        assert quadrature_points(16) == 24
+
+    @pytest.mark.parametrize("bad", [3, 7, 2, 0])
+    def test_odd_or_tiny_rejected(self, bad):
+        with pytest.raises(ValueError):
+            real_modes(bad)
+
+    def test_storage_footprint_matches_physical(self):
+        """N/2 complex modes = N reals: Nyquist dropping keeps footprint flat."""
+        assert 2 * real_modes(64) == 64
+
+
+class TestWavenumbers:
+    def test_rfft_wavenumbers(self):
+        np.testing.assert_allclose(rfft_wavenumbers(8), [0, 1, 2, 3])
+
+    def test_fft_wavenumbers_order(self):
+        np.testing.assert_allclose(fft_wavenumbers(8), [0, 1, 2, 3, -3, -2, -1])
+
+    def test_domain_length_scaling(self):
+        np.testing.assert_allclose(rfft_wavenumbers(8, length=np.pi), [0, 2, 4, 6])
+
+
+class TestRealTransforms:
+    def test_roundtrip_is_nyquist_projection(self, rng):
+        n = 32
+        u = rng.standard_normal((3, n))
+        u2 = inverse_c2r(forward_r2c(u), n)
+        ref = np.fft.rfft(u, axis=-1)
+        ref[..., -1] = 0.0
+        np.testing.assert_allclose(u2, np.fft.irfft(ref, n=n), atol=1e-13)
+
+    def test_roundtrip_exact_for_bandlimited(self, rng):
+        """Fields with no Nyquist content round-trip exactly."""
+        n = 16
+        x = np.arange(n) * 2 * np.pi / n
+        u = 1 + np.cos(3 * x) + np.sin(7 * x)
+        np.testing.assert_allclose(inverse_c2r(forward_r2c(u), n), u, atol=1e-13)
+
+    def test_coefficients_are_mathematical(self):
+        n = 16
+        x = np.arange(n) * 2 * np.pi / n
+        uh = forward_r2c(2.5 * np.cos(3 * x))
+        # 2.5 cos(3x) = 1.25 e^{3ix} + c.c.
+        assert abs(uh[3] - 1.25) < 1e-13
+        assert np.abs(np.delete(uh, 3)).max() < 1e-13
+
+    def test_axis_argument(self, rng):
+        u = rng.standard_normal((8, 5))
+        uh = forward_r2c(u, axis=0)
+        assert uh.shape == (4, 5)
+        np.testing.assert_allclose(uh[:, 2], forward_r2c(u[:, 2]), atol=1e-14)
+
+    def test_quadrature_evaluation_preserves_modes(self, rng):
+        """Pad -> physical -> transform -> truncate is the identity."""
+        n = 16
+        uh = rng.standard_normal(n // 2) + 1j * rng.standard_normal(n // 2)
+        uh[0] = uh[0].real  # DC mode of a real field is real
+        m = quadrature_points(n)
+        phys = np.fft.irfft(pad_for_quadrature_r(uh, n) * m, n=m)
+        back = truncate_from_quadrature_r(np.fft.rfft(phys) / m, n)
+        np.testing.assert_allclose(back, uh, atol=1e-12)
+
+    def test_pad_wrong_size_raises(self, rng):
+        with pytest.raises(ValueError):
+            pad_for_quadrature_r(np.zeros(5, complex), 16)
+
+    def test_inverse_too_small_raises(self):
+        with pytest.raises(ValueError):
+            inverse_c2r(np.zeros(10, complex), 8)
+
+
+class TestComplexTransforms:
+    def test_roundtrip_is_nyquist_projection(self, rng):
+        n = 16
+        u = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+        u2 = inverse_c2c(forward_c2c(u), n)
+        ref = np.fft.fft(u, axis=-1)
+        ref[..., n // 2] = 0.0
+        np.testing.assert_allclose(u2, np.fft.ifft(ref), atol=1e-13)
+
+    def test_negative_modes_preserved(self):
+        n = 16
+        x = np.arange(n) * 2 * np.pi / n
+        u = np.exp(-5j * x)
+        uh = forward_c2c(u)
+        k = fft_wavenumbers(n)
+        idx = np.argmin(np.abs(k + 5))
+        assert abs(uh[idx] - 1.0) < 1e-13
+
+    def test_quadrature_roundtrip(self, rng):
+        n = 16
+        m = quadrature_points(n)
+        uh = rng.standard_normal(n - 1) + 1j * rng.standard_normal(n - 1)
+        phys = np.fft.ifft(pad_for_quadrature_c(uh, n) * m)
+        back = truncate_from_quadrature_c(np.fft.fft(phys) / m, n)
+        np.testing.assert_allclose(back, uh, atol=1e-12)
+
+
+class TestDealiasing:
+    @given(k1=st.integers(min_value=1, max_value=7), k2=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_no_aliasing_into_retained_modes(self, k1, k2):
+        """Products of retained modes never alias back into retained modes."""
+        n = 16
+        m = quadrature_points(n)
+        x = np.arange(m) * 2 * np.pi / m
+        u1 = np.cos(k1 * x)
+        u2 = np.cos(k2 * x)
+        prod_modes = truncate_from_quadrature_r((np.fft.rfft(u1 * u2) / m)[None], n)[0]
+        # exact product: cos(k1 x) cos(k2 x) = ½cos(|k1-k2|x) + ½cos((k1+k2)x);
+        # the stored e^{ikx} coefficient of ½cos(kx) is ¼ (½ at k = 0).
+        expected = np.zeros(n // 2)
+        for k in (abs(k1 - k2), k1 + k2):
+            if k == 0:
+                expected[0] += 0.5
+            elif k < n // 2:
+                expected[k] += 0.25
+        np.testing.assert_allclose(prod_modes.real, expected, atol=1e-12)
+        np.testing.assert_allclose(prod_modes.imag, 0.0, atol=1e-12)
+
+    def test_highest_mode_squared_is_alias_free(self):
+        """The classic 3/2-rule check: (highest mode)² leaves only the mean."""
+        n = 16
+        m = quadrature_points(n)
+        uh = np.zeros(n // 2, complex)
+        uh[-1] = 1.0
+        phys = np.fft.irfft(pad_for_quadrature_r(uh, n) * m, n=m)
+        ph = truncate_from_quadrature_r((np.fft.rfft(phys**2) / m)[None], n)[0]
+        assert abs(ph[0] - 2.0) < 1e-12  # (2 cos kx)² has mean 2
+        assert np.abs(ph[1:]).max() < 1e-12

@@ -1,0 +1,64 @@
+"""FFTW-style planner tests."""
+
+import numpy as np
+import pytest
+
+from repro.fft.plans import FFTPlan, PlanFlags, Planner
+
+
+class TestFFTPlan:
+    @pytest.mark.parametrize("kind", ["fft", "ifft", "rfft"])
+    def test_matches_numpy(self, kind, rng):
+        a = rng.standard_normal((16, 8))
+        if kind in ("fft", "ifft"):
+            a = a + 1j * rng.standard_normal((16, 8))
+        plan = FFTPlan(kind, a.shape, axis=0)
+        ref = getattr(np.fft, kind)(a, axis=0)
+        np.testing.assert_allclose(plan.execute(a), ref, atol=1e-12)
+
+    def test_irfft_with_nout(self, rng):
+        a = rng.standard_normal((5, 9)) + 1j * rng.standard_normal((5, 9))
+        plan = FFTPlan("irfft", a.shape, axis=1, nout=16)
+        np.testing.assert_allclose(plan.execute(a), np.fft.irfft(a, n=16, axis=1), atol=1e-12)
+
+    def test_measure_mode_picks_a_strategy(self, rng):
+        plan = FFTPlan("fft", (64, 64), axis=0, flags=PlanFlags.MEASURE)
+        assert plan.strategy in ("direct", "copy-contiguous")
+        assert len(plan.measured) == 2
+
+    def test_strategies_agree(self, rng):
+        a = rng.standard_normal((32, 16)) + 0j
+        plan = FFTPlan("fft", a.shape, axis=0)
+        np.testing.assert_allclose(plan._direct(a), plan._copy_contiguous(a), atol=1e-12)
+
+    def test_last_axis_has_single_candidate(self):
+        plan = FFTPlan("fft", (8, 16), axis=-1, flags=PlanFlags.MEASURE)
+        assert plan.strategy == "direct"
+
+    def test_wrong_shape_raises(self, rng):
+        plan = FFTPlan("fft", (8, 8), axis=0)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((4, 8), complex))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            FFTPlan("dct", (8,), axis=0)
+
+
+class TestPlanner:
+    def test_cache_reuse(self):
+        planner = Planner()
+        p1 = planner.plan("fft", (8, 8), 0)
+        p2 = planner.plan("fft", (8, 8), 0)
+        assert p1 is p2
+
+    def test_distinct_keys(self):
+        planner = Planner()
+        assert planner.plan("fft", (8, 8), 0) is not planner.plan("fft", (8, 8), 1)
+
+    def test_execute_shortcut(self, rng):
+        planner = Planner()
+        a = rng.standard_normal((8, 4)) + 0j
+        np.testing.assert_allclose(
+            planner.execute("ifft", a, axis=0), np.fft.ifft(a, axis=0), atol=1e-13
+        )

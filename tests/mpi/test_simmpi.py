@@ -1,0 +1,210 @@
+"""SimMPI collective/point-to-point/topology semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.simmpi import Communicator, SimMPIError, run_spmd
+
+
+class TestCollectives:
+    def test_alltoall_permutation(self):
+        def prog(comm):
+            chunks = [np.array([comm.rank, d]) for d in range(comm.size)]
+            got = comm.alltoall(chunks)
+            for src in range(comm.size):
+                assert got[src][0] == src and got[src][1] == comm.rank
+            return True
+
+        assert all(run_spmd(6, prog))
+
+    def test_alltoall_variable_sizes(self):
+        """alltoallv semantics: chunk shapes may differ per destination."""
+
+        def prog(comm):
+            chunks = [np.full(d + 1, comm.rank) for d in range(comm.size)]
+            got = comm.alltoall(chunks)
+            for src in range(comm.size):
+                assert got[src].shape == (comm.rank + 1,)
+                assert np.all(got[src] == src)
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_alltoall_wrong_chunk_count(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                comm.alltoall([np.zeros(1)] * (comm.size + 1))
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(3, prog))
+
+    def test_bcast(self):
+        def prog(comm):
+            return comm.bcast("payload" if comm.rank == 1 else None, root=1)
+
+        assert run_spmd(4, prog) == ["payload"] * 4
+
+    def test_allgather_ordering(self):
+        def prog(comm):
+            return comm.allgather(comm.rank * 2)
+
+        for out in run_spmd(5, prog):
+            assert out == [0, 2, 4, 6, 8]
+
+    def test_allreduce_sum_and_custom_op(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank), comm.allreduce(comm.rank, op=max)
+
+        for s, m in run_spmd(5, prog):
+            assert s == 10 and m == 4
+
+    def test_reduce_root_only(self):
+        def prog(comm):
+            return comm.reduce(1, root=2)
+
+        out = run_spmd(4, prog)
+        assert out[2] == 4
+        assert out[0] is None
+
+    def test_repeated_collectives_no_crosstalk(self):
+        """Board reuse across many rounds must never mix generations."""
+
+        def prog(comm):
+            for round_ in range(20):
+                got = comm.alltoall([np.array([round_, comm.rank])] * comm.size)
+                for g in got:
+                    assert g[0] == round_
+            return True
+
+        assert all(run_spmd(4, prog))
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = comm.sendrecv(comm.rank, dest=right, source=left)
+            return got == left
+
+        assert all(run_spmd(5, prog))
+
+    def test_tags_separate_messages(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+            elif comm.rank == 1:
+                # receive in swapped order
+                b = comm.recv(source=0, tag=2)
+                a = comm.recv(source=0, tag=1)
+                assert (a, b) == ("a", "b")
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(2, prog))
+
+
+class TestErrorHandling:
+    def test_exception_propagates_not_deadlocks(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(4, prog)
+
+    def test_recv_timeout_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, timeout=0.1)
+            return True
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, prog)
+
+
+class TestSplitAndCartesian:
+    def test_split_groups_by_color(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sub.size, sub.rank, sorted(sub.world_ranks)
+
+        res = run_spmd(6, prog)
+        assert res[0] == (3, 0, [0, 2, 4])
+        assert res[3] == (3, 1, [1, 3, 5])
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        assert run_spmd(4, prog) == [3, 2, 1, 0]
+
+    def test_cart_coords_row_major(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 3))
+            return cart.coords
+
+        assert run_spmd(6, prog) == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_cart_create_bad_dims(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                comm.cart_create((2, 2))
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(6, prog))
+
+    def test_cart_sub_comm_a_and_b(self):
+        """CommA = same b coordinate; CommB = same a coordinate."""
+
+        def prog(comm):
+            cart = comm.cart_create((2, 4))
+            comm_a = cart.cart_sub([True, False])
+            comm_b = cart.cart_sub([False, True])
+            a, b = cart.coords
+            return (
+                sorted(comm_a.world_ranks),
+                sorted(comm_b.world_ranks),
+                a,
+                b,
+            )
+
+        res = run_spmd(8, prog)
+        for rank, (wa, wb, a, b) in enumerate(res):
+            assert wa == [b, 4 + b]
+            assert wb == [4 * a + j for j in range(4)]
+
+    def test_collectives_in_subcommunicators(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            comm_b = cart.cart_sub([False, True])
+            return comm_b.allreduce(comm.rank)
+
+        assert run_spmd(4, prog) == [1, 1, 5, 5]
+
+
+class TestInstrumentation:
+    def test_alltoall_message_accounting(self):
+        def prog(comm):
+            comm.alltoall([np.zeros(10)] * comm.size)
+            return comm.stats.messages, comm.stats.bytes
+
+        res = run_spmd(4, prog)
+        # stats are shared communicator-wide: every rank reports the total
+        msgs, byts = res[0]
+        assert msgs == 4 * 3  # off-diagonal chunks only
+        assert byts == 4 * 3 * 10 * 8
+
+    def test_timeout_guard(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # others never arrive
+            return True
+
+        with pytest.raises(SimMPIError):
+            run_spmd(2, prog, timeout=1.0)

@@ -1,0 +1,76 @@
+"""CommA/CommB topology pattern tests (paper Fig. 4, Table 5 locality)."""
+
+import pytest
+
+from repro.mpi.topology import CommPattern, ascii_pattern, comm_grid
+
+
+class TestCommPattern:
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            comm_grid(128, 8, 15)
+
+    def test_coords(self):
+        p = comm_grid(8, 2, 4)
+        assert p.coords(0) == (0, 0)
+        assert p.coords(5) == (1, 1)
+
+    def test_members(self):
+        p = comm_grid(8, 2, 4)
+        assert p.comm_b_members(5) == [4, 5, 6, 7]
+        assert p.comm_a_members(5) == [1, 5]
+
+    def test_every_rank_in_exactly_one_of_each(self):
+        p = comm_grid(24, 4, 6)
+        for r in range(24):
+            assert r in p.comm_a_members(r)
+            assert r in p.comm_b_members(r)
+            assert len(p.comm_a_members(r)) == 4
+            assert len(p.comm_b_members(r)) == 6
+
+    def test_edge_counts(self):
+        """|CommA edges| = pb * C(pa,2), |CommB edges| = pa * C(pb,2)."""
+        p = comm_grid(128, 8, 16)
+        ea, eb = p.edges()
+        assert len(ea) == 16 * (8 * 7 // 2)
+        assert len(eb) == 8 * (16 * 15 // 2)
+
+
+class TestNodeLocality:
+    def test_paper_fig4_grid(self):
+        """128 tasks as 8x16 with 16 cores/node: CommB entirely on-node."""
+        p = comm_grid(128, 8, 16)
+        assert p.comm_b_is_node_local(16)
+        assert p.off_node_fraction("A", 16) == 1.0
+
+    def test_wide_comm_b_spills_off_node(self):
+        p = comm_grid(128, 4, 32)
+        assert not p.comm_b_is_node_local(16)
+        assert p.off_node_fraction("B", 16) > 0.0
+
+    def test_table5_ordering(self):
+        """Table 5: smaller CommB = more node-local B traffic on Mira (16/node)."""
+        fractions = [
+            comm_grid(8192, pa, pb).off_node_fraction("B", 16)
+            for pa, pb in [(512, 16), (256, 32), (128, 64), (64, 128)]
+        ]
+        assert fractions[0] == 0.0
+        assert fractions == sorted(fractions)
+
+    def test_node_of(self):
+        p = comm_grid(64, 8, 8)
+        assert p.node_of(0, 16) == 0
+        assert p.node_of(17, 16) == 1
+
+
+class TestAscii:
+    def test_ascii_pattern_shape(self):
+        p = comm_grid(16, 4, 4)
+        art = ascii_pattern(p)
+        lines = art.splitlines()
+        assert len(lines) == 16
+        assert set("".join(lines)) <= {".", "A", "B"}
+
+    def test_ascii_truncates(self):
+        p = comm_grid(128, 8, 16)
+        assert len(ascii_pattern(p, max_ranks=10).splitlines()) == 10

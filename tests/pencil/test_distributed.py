@@ -1,0 +1,97 @@
+"""Distributed DNS integration tests: parity with the serial solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.mpi.simmpi import run_spmd
+from repro.pencil.distributed import DistributedChannelDNS
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=8)
+
+
+@pytest.fixture(scope="module")
+def serial_after_3():
+    dns = ChannelDNS(CFG)
+    dns.initialize()
+    dns.run(3)
+    return dns.state
+
+
+class TestParity:
+    @pytest.mark.parametrize("pa,pb", [(2, 2), (4, 1), (1, 4)])
+    def test_trajectory_matches_serial(self, serial_after_3, pa, pb):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=pa, pb=pb)
+            dns.initialize()
+            dns.run(3)
+            return dns.gather_state()
+
+        full = run_spmd(pa * pb, prog)[0]
+        np.testing.assert_allclose(full.v, serial_after_3.v, atol=1e-13)
+        np.testing.assert_allclose(full.omega_y, serial_after_3.omega_y, atol=1e-13)
+        np.testing.assert_allclose(full.u00, serial_after_3.u00, atol=1e-13)
+
+    def test_divergence_free(self):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(2)
+            return dns.divergence_norm()
+
+        for div in run_spmd(4, prog):
+            assert div < 1e-10
+
+    def test_cfl_is_global(self):
+        """Every rank reports the same (global) CFL number."""
+
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            return dns.cfl_number()
+
+        cfls = run_spmd(4, prog)
+        assert len(set(cfls)) == 1
+        assert 0 < cfls[0] < 1
+
+
+class TestConstruction:
+    def test_bad_process_grid(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                DistributedChannelDNS(comm, CFG, pa=3, pb=2)
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_step_before_initialize(self):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=1)
+            with pytest.raises(RuntimeError):
+                dns.step()
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_only_one_rank_owns_mean(self):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            return dns.modes.owns_mean
+
+        owners = run_spmd(4, prog)
+        assert sum(owners) == 1
+
+    def test_timers_record_sections(self):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            return dict(dns.timers.elapsed)
+
+        for elapsed in run_spmd(4, prog):
+            assert elapsed["transpose"] > 0
+            assert elapsed["fft"] > 0
+            assert elapsed["ns_advance"] > 0

@@ -1,0 +1,158 @@
+"""Parallel FFT kernel tests: custom (Nyquist-free) and P3DFFT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import ChannelGrid
+from repro.core.transforms import to_quadrature_grid
+from repro.mpi.simmpi import run_spmd
+from repro.pencil.p3dfft import P3DFFTBaseline
+from repro.pencil.parallel_fft import PencilTransforms
+
+NX, NY, NZ = 16, 12, 16
+
+
+def make_spectral(grid, seed=0):
+    rng = np.random.default_rng(seed)
+    spec = rng.standard_normal(grid.spectral_shape) + 1j * rng.standard_normal(
+        grid.spectral_shape
+    )
+    spec[0, 0] = rng.standard_normal(grid.ny)
+    half = grid.nz // 2
+    for j in range(1, half):
+        spec[0, grid.mz - j] = np.conj(spec[0, j])
+    return spec
+
+
+class TestCustomKernel:
+    @pytest.mark.parametrize("pa,pb", [(1, 1), (2, 2), (4, 1), (1, 4), (2, 3)])
+    def test_matches_serial_reference(self, pa, pb):
+        grid = ChannelGrid(NX, NY, NZ)
+        spec = make_spectral(grid)
+        phys_ref = to_quadrature_grid(spec, grid)
+
+        def prog(comm):
+            cart = comm.cart_create((pa, pb))
+            tr = PencilTransforms(cart, NX, NY, NZ, dealias=True)
+            d = tr.decomp
+            local = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+            phys = tr.to_physical(local)
+            ref = phys_ref[:, d.zq_slice, d.y_slice]
+            assert np.abs(phys - ref).max() < 1e-12
+            back = tr.from_physical(phys)
+            assert np.abs(back - local).max() < 1e-12
+            return True
+
+        assert all(run_spmd(pa * pb, prog))
+
+    def test_fft_cycle_identity_without_dealiasing(self):
+        grid = ChannelGrid(NX, NY, NZ)
+        spec = make_spectral(grid, seed=3)
+
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ, dealias=False)
+            d = tr.decomp
+            local = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+            out = tr.fft_cycle(local)
+            assert np.abs(out - local).max() < 1e-12
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_shape_validation(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ)
+            with pytest.raises(ValueError):
+                tr.to_physical(np.zeros((1, 1, 1), complex))
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_work_buffer_is_order_input(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ, dealias=False)
+            return tr.work_buffer_elements() / tr.input_elements()
+
+        ratios = run_spmd(4, prog)
+        assert all(r <= 1.6 for r in ratios)  # ~1x (padding-free)
+
+    def test_timers_populated(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ)
+            d = tr.decomp
+            tr.to_physical(np.zeros(d.y_pencil_shape, complex))
+            return dict(tr.timers.elapsed)
+
+        for elapsed in run_spmd(4, prog):
+            assert elapsed["transpose"] > 0.0
+            assert elapsed["fft"] > 0.0
+
+    def test_planner_collective(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ)
+            choices = tr.plan()
+            assert set(choices) == {"CommA", "CommB"}
+            return True
+
+        assert all(run_spmd(4, prog))
+
+
+class TestP3DFFTBaseline:
+    def test_cycle_identity_with_nyquist_kept(self):
+        grid = ChannelGrid(NX, NY, NZ)
+        spec = make_spectral(grid, seed=5)
+        half = NZ // 2
+        full = np.zeros((NX // 2 + 1, NZ, NY), complex)
+        full[: grid.mx, :half] = spec[:, :half]
+        full[: grid.mx, half + 1 :] = spec[:, half:]
+
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            p3 = P3DFFTBaseline(cart, NX, NY, NZ)
+            d = p3.decomp
+            local = np.ascontiguousarray(full[d.x_slice, d.z_spec_slice, :])
+            out = p3.fft_cycle(local)
+            assert np.abs(out - local).max() < 1e-12
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_buffers_are_3x(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            p3 = P3DFFTBaseline(cart, NX, NY, NZ)
+            return p3.work_buffer_elements() / p3.input_elements()
+
+        assert all(r == 3.0 for r in run_spmd(4, prog))
+
+    def test_transposes_carry_more_data_than_custom(self):
+        """The Nyquist mode inflates P3DFFT's communication volume."""
+
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            custom = PencilTransforms(cart, NX, NY, NZ, dealias=False)
+            p3 = P3DFFTBaseline(cart, NX, NY, NZ)
+            c_in = comm.allreduce(custom.input_elements())
+            p_in = comm.allreduce(p3.input_elements())
+            return c_in, p_in
+
+        res = run_spmd(4, prog)
+        c_in, p_in = res[0]
+        assert p_in > c_in
+
+    def test_no_planner(self):
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            p3 = P3DFFTBaseline(cart, NX, NY, NZ)
+            with pytest.raises(NotImplementedError):
+                p3.plan()
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(4, prog))

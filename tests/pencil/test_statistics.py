@@ -1,0 +1,69 @@
+"""Distributed statistics: identity with the serial accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.mpi import run_spmd
+from repro.pencil.distributed import DistributedChannelDNS
+from repro.pencil.statistics import DistributedStatistics
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=17)
+
+
+@pytest.fixture(scope="module")
+def serial_stats():
+    dns = ChannelDNS(CFG)
+    dns.initialize()
+    dns.run(4, sample_every=2)
+    return dns.statistics, dns.config.nu
+
+
+class TestParity:
+    def test_profiles_match_serial(self, serial_stats):
+        serial, nu = serial_stats
+
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            stats = DistributedStatistics(dns)
+            for k in range(4):
+                dns.step()
+                if (k + 1) % 2 == 0:
+                    stats.sample()
+            return {name: stats.profile(name) for name in stats.PROFILES}
+
+        results = run_spmd(4, prog)
+        for name in DistributedStatistics.PROFILES:
+            for r in results:
+                np.testing.assert_allclose(
+                    r[name], serial.profile(name), atol=1e-12, err_msg=name
+                )
+
+    def test_friction_velocity_matches(self, serial_stats):
+        serial, nu = serial_stats
+
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=4, pb=1)
+            dns.initialize()
+            stats = DistributedStatistics(dns)
+            for k in range(4):
+                dns.step()
+                if (k + 1) % 2 == 0:
+                    stats.sample()
+            return stats.friction_velocity(CFG.nu)
+
+        for u_tau in run_spmd(4, prog):
+            assert u_tau == pytest.approx(serial.friction_velocity(nu), abs=1e-12)
+
+    def test_no_samples_raises(self):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=1)
+            dns.initialize()
+            stats = DistributedStatistics(dns)
+            with pytest.raises(RuntimeError):
+                stats.profile("uu")
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(2, prog))

@@ -1,0 +1,105 @@
+"""Global transpose and on-node reorder tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.simmpi import run_spmd
+from repro.pencil.decomp import block_range
+from repro.pencil.reorder import chunked_reorder, reorder
+from repro.pencil.transpose import GlobalTranspose, TransposeMethod
+
+
+class TestReorder:
+    def test_default_permutation(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        out, nbytes = reorder(a)
+        np.testing.assert_array_equal(out, np.transpose(a, (1, 2, 0)))
+        assert out.flags.c_contiguous
+        assert nbytes == 2 * a.nbytes
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            reorder(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("nchunks", [1, 2, 4, 16])
+    def test_chunked_matches_plain(self, rng, nchunks):
+        a = rng.standard_normal((6, 5, 4))
+        plain, _ = reorder(a)
+        chunked, _ = chunked_reorder(a, nchunks=nchunks)
+        np.testing.assert_array_equal(chunked, plain)
+
+
+def roundtrip_program(method):
+    def prog(comm):
+        rng = np.random.default_rng(comm.rank)
+        n_split, n_other = 8, 5
+        lo, hi = block_range(12, comm.size, comm.rank)
+        a = rng.standard_normal((n_split, n_other, hi - lo))
+        fwd = GlobalTranspose(comm, split_axis=0, concat_axis=2, method=method)
+        bwd = GlobalTranspose(comm, split_axis=2, concat_axis=0, method=method)
+        moved = fwd.execute(a)
+        # moved: axis 0 is now the local block of 8, axis 2 gathered to 12
+        s0, e0 = block_range(n_split, comm.size, comm.rank)
+        assert moved.shape == (e0 - s0, n_other, 12)
+        back = bwd.execute(moved)
+        np.testing.assert_allclose(back, a, atol=1e-14)
+        return True
+
+    return prog
+
+
+class TestGlobalTranspose:
+    @pytest.mark.parametrize("method", list(TransposeMethod))
+    @pytest.mark.parametrize("nranks", [2, 3, 4])
+    def test_roundtrip(self, method, nranks):
+        assert all(run_spmd(nranks, roundtrip_program(method)))
+
+    def test_methods_agree(self):
+        def prog(comm):
+            rng = np.random.default_rng(7)
+            lo, hi = block_range(9, comm.size, comm.rank)
+            a = rng.standard_normal((6, hi - lo)).reshape(6, 1, hi - lo)
+            a = a + comm.rank  # distinct per rank
+            t1 = GlobalTranspose(comm, 0, 2, method=TransposeMethod.ALLTOALL)
+            t2 = GlobalTranspose(comm, 0, 2, method=TransposeMethod.PAIRWISE)
+            np.testing.assert_array_equal(t1.execute(a), t2.execute(a))
+            return True
+
+        assert all(run_spmd(3, prog))
+
+    def test_explicit_split_sizes(self):
+        def prog(comm):
+            sizes = [3, 1]  # deliberately unequal
+            a = np.arange(4.0 * 2).reshape(4, 1, 2)
+            t = GlobalTranspose(comm, 0, 2, split_sizes=sizes)
+            out = t.execute(a)
+            assert out.shape[0] == sizes[comm.rank]
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_bad_split_sizes(self):
+        def prog(comm):
+            t = GlobalTranspose(comm, 0, 2, split_sizes=[1, 1])
+            with pytest.raises(ValueError):
+                t.execute(np.zeros((5, 1, 2)))
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_planner_picks_and_pins(self):
+        def prog(comm):
+            lo, hi = block_range(8, comm.size, comm.rank)
+            t = GlobalTranspose(comm, 0, 2)
+            probe = np.zeros((8, 2, hi - lo))
+            choice = t.plan(probe)
+            assert choice in list(TransposeMethod)
+            assert t.method is choice
+            assert len(t.measured) == 2
+            # choices must agree across ranks (collective measurement)
+            choices = comm.allgather(choice)
+            assert len(set(choices)) == 1
+            return True
+
+        assert all(run_spmd(4, prog))

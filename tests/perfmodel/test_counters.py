@@ -1,0 +1,65 @@
+"""Simulated HPM counter tests (Table 2)."""
+
+import pytest
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.counters import (
+    ARITHMETIC_INTENSITY,
+    simd_padding_ratio,
+    simulate_hpm_counters,
+)
+
+
+class TestScalarBuild:
+    def test_matches_table2_noSIMD(self):
+        c = simulate_hpm_counters(simd=False)
+        p = P.TABLE2["NoSIMD"]
+        assert c.gflops == pytest.approx(p["gflops"], rel=0.05)
+        assert c.ddr_bytes_per_cycle == pytest.approx(p["ddr_bytes_per_cycle"], rel=0.02)
+        assert c.ipc == pytest.approx(p["ipc"], rel=0.1)
+        assert c.elapsed == pytest.approx(p["elapsed"], rel=0.05)
+
+    def test_memory_bound_diagnosis(self):
+        """The paper's conclusion: ~9% of peak flops, >90% of DDR peak."""
+        c = simulate_hpm_counters(simd=False)
+        assert c.gflops_pct < 12.0
+        assert c.ddr_bytes_per_cycle / 18.0 > 0.9
+
+    def test_l1_dominated(self):
+        c = simulate_hpm_counters(simd=False)
+        assert c.l1_pct > 97.0
+        assert c.l1_pct + c.l2_pct + c.ddr_pct == pytest.approx(100.0)
+
+
+class TestSIMDBuild:
+    def test_simd_raises_flops_but_slows_down(self):
+        """Table 2's punchline, derived not copied."""
+        scalar = simulate_hpm_counters(simd=False)
+        simd = simulate_hpm_counters(simd=True)
+        assert simd.gflops > 3.0 * scalar.gflops
+        assert simd.elapsed > scalar.elapsed
+
+    def test_padding_ratio_structural(self):
+        """(16/15)² x 3.75 ~ 4.27, close to the measured 4.96/1.16 = 4.28."""
+        assert simd_padding_ratio() == pytest.approx(4.96 / 1.16, rel=0.05)
+
+    def test_simd_ddr_traffic_lower(self):
+        simd = simulate_hpm_counters(simd=True)
+        scalar = simulate_hpm_counters(simd=False)
+        assert simd.ddr_bytes_per_cycle < scalar.ddr_bytes_per_cycle
+
+    def test_simd_ipc_higher(self):
+        assert simulate_hpm_counters(True).ipc > simulate_hpm_counters(False).ipc
+
+
+class TestModelConsistency:
+    def test_arithmetic_intensity_matches_table2(self):
+        """AI implied by 1.16 GF against 16.8 B/cycle at 1.6 GHz."""
+        implied = 1.16e9 / (16.8 * 1.6e9)
+        assert ARITHMETIC_INTENSITY == pytest.approx(implied, rel=0.02)
+
+    def test_scaling_with_problem_size(self):
+        small = simulate_hpm_counters(False, points=1e6)
+        large = simulate_hpm_counters(False, points=4e6)
+        assert large.elapsed == pytest.approx(4 * small.elapsed)
+        assert large.gflops == pytest.approx(small.gflops)

@@ -1,0 +1,112 @@
+"""Fluid network simulator tests, including cross-validation against the
+analytic transpose model."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.eventsim import (
+    FabricSpec,
+    Message,
+    alltoall_messages,
+    simulate_subcomm_alltoall,
+    simulate_traffic,
+)
+from repro.perfmodel.machine import MIRA
+from repro.perfmodel.network import TransposeCostModel, comm_geometry
+
+
+def spec(inj=1.0, ej=1.0, fab=100.0, loc=10.0):
+    return FabricSpec(injection_bw=inj, ejection_bw=ej, fabric_bw=fab, local_bw=loc)
+
+
+class TestFluidPrimitives:
+    def test_single_message_injection_limited(self):
+        msgs = [Message(src=0, dst=1, remaining=2.0)]
+        assert simulate_traffic(msgs, spec(inj=1.0), nodes=2) == pytest.approx(2.0)
+
+    def test_two_messages_share_injection(self):
+        msgs = [Message(0, 1, 1.0), Message(0, 2, 1.0)]
+        # both leave node 0: fair share 0.5 each -> 2 s
+        assert simulate_traffic(msgs, spec(), nodes=3) == pytest.approx(2.0)
+
+    def test_ejection_bottleneck(self):
+        msgs = [Message(0, 2, 1.0), Message(1, 2, 1.0)]
+        assert simulate_traffic(msgs, spec(), nodes=3) == pytest.approx(2.0)
+
+    def test_fabric_bottleneck(self):
+        # 4 disjoint src->dst pairs, fabric can only carry 1 B/s total
+        msgs = [Message(i, i + 4, 1.0) for i in range(4)]
+        t = simulate_traffic(msgs, spec(fab=1.0), nodes=8)
+        assert t == pytest.approx(4.0)
+
+    def test_local_messages_use_memory_path(self):
+        msgs = [Message(0, 0, 10.0)]
+        assert simulate_traffic(msgs, spec(loc=10.0), nodes=1) == pytest.approx(1.0)
+
+    def test_completion_order_respected(self):
+        """A short message finishes and frees capacity for a long one."""
+        msgs = [Message(0, 1, 1.0), Message(0, 2, 3.0)]
+        # share 0.5 until t=2 (first done), then rate 1: (3-1)/1 = 2 more
+        assert simulate_traffic(msgs, spec(), nodes=3) == pytest.approx(4.0)
+
+    def test_volume_linearity(self):
+        m1 = [Message(0, 1, 1.0), Message(1, 0, 1.0)]
+        m2 = [Message(0, 1, 2.0), Message(1, 0, 2.0)]
+        t1 = simulate_traffic(m1, spec(), nodes=2)
+        t2 = simulate_traffic(m2, spec(), nodes=2)
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestMessageConstruction:
+    def test_alltoall_message_count(self):
+        groups = [[0, 1, 2, 3]]
+        msgs = alltoall_messages(groups, 1.0, node_of=lambda r: r // 2)
+        assert len(msgs) == 12
+        local = [m for m in msgs if m.src == m.dst]
+        assert len(local) == 4  # pairs within each 2-rank node
+
+
+class TestCrossValidation:
+    """The fluid simulator and the analytic model must agree on shape."""
+
+    def test_node_local_subcomm_is_cheap(self):
+        """CommB inside the node never touches the fabric."""
+        t_local = simulate_subcomm_alltoall(
+            MIRA, nodes=4, tasks_per_node=4, sub_size=4, stride=1,
+            data_bytes_per_task=1e6,
+        )
+        t_spread = simulate_subcomm_alltoall(
+            MIRA, nodes=4, tasks_per_node=4, sub_size=4, stride=4,
+            data_bytes_per_task=1e6,
+        )
+        assert t_local < t_spread
+
+    def test_matches_analytic_within_factor(self):
+        """Off-node all-to-all: fluid vs closed form within ~3x (the closed
+        form folds in fitted contention the fluid model idealizes)."""
+        nodes, tpn, sub = 8, 4, 8
+        data = 4e6
+        t_sim = simulate_subcomm_alltoall(
+            MIRA, nodes=nodes, tasks_per_node=tpn, sub_size=sub, stride=tpn,
+            data_bytes_per_task=data,
+        )
+        analytic = TransposeCostModel(MIRA).transpose_time(
+            comm_geometry(sub, stride=tpn, tasks_per_node=tpn),
+            data,
+            tpn,
+            nodes,
+        )
+        assert 1 / 3 < t_sim / analytic < 3.0
+
+    def test_scaling_with_node_count(self):
+        """More nodes, same per-task data: per-node time falls (strong
+        scaling of the transpose) until the fabric pool binds."""
+        times = []
+        for nodes in (2, 4, 8):
+            times.append(
+                simulate_subcomm_alltoall(
+                    MIRA, nodes=nodes, tasks_per_node=4, sub_size=4 * nodes,
+                    stride=1, data_bytes_per_task=8e6 / nodes,
+                )
+            )
+        assert times[0] > times[1] > times[2]

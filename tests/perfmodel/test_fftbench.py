@@ -1,0 +1,100 @@
+"""Parallel FFT benchmark model tests (Table 6 golden shapes)."""
+
+import pytest
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.fftbench import ParallelFFTModel
+from repro.perfmodel.machine import LONESTAR, MIRA, STAMPEDE
+
+
+@pytest.fixture
+def mira_small():
+    return ParallelFFTModel(MIRA, 2048, 1024, 1024)
+
+
+@pytest.fixture
+def lonestar():
+    return ParallelFFTModel(LONESTAR, 768, 768, 768)
+
+
+class TestCycleTime:
+    def test_components_positive(self, mira_small):
+        c = mira_small.cycle_time(128, "custom")
+        assert c.fft > 0 and c.transpose > 0 and c.reorder > 0
+        assert c.total == pytest.approx(c.fft + c.transpose + c.reorder)
+
+    def test_unknown_kernel(self, mira_small):
+        with pytest.raises(ValueError):
+            mira_small.cycle_time(128, "fftw")
+
+
+class TestMiraShape:
+    def test_custom_always_wins_on_mira(self, mira_small):
+        """Table 6 Mira: the customized kernel wins at every core count."""
+        for cores in P.TABLE6_MIRA_SMALL:
+            p3 = mira_small.cycle_time(cores, "p3dfft").total
+            cu = mira_small.cycle_time(cores, "custom").total
+            assert p3 > 1.3 * cu, cores
+
+    def test_ratio_magnitude(self, mira_small):
+        """Paper sees 2.1-2.6x; the model must land in the same regime."""
+        for cores in (256, 1024, 8192):
+            p3 = mira_small.cycle_time(cores, "p3dfft").total
+            cu = mira_small.cycle_time(cores, "custom").total
+            assert 1.5 < p3 / cu < 3.5
+
+    def test_custom_superscaling_mechanism(self, mira_small):
+        """§4.4's conjecture: per-core reorder gets cheaper as local blocks
+        shrink, so custom scaled efficiency can exceed 100%."""
+        t128 = mira_small.cycle_time(128, "custom").total
+        t1024 = mira_small.cycle_time(1024, "custom").total
+        efficiency = (t128 * 128) / (t1024 * 1024)
+        # the paper measures > 1.15; the model keeps most of the effect
+        assert efficiency > 0.8
+
+    def test_absolute_times_within_2x(self, mira_small):
+        for cores, (p3, cu) in P.TABLE6_MIRA_SMALL.items():
+            assert 0.4 < mira_small.cycle_time(cores, "custom").total / cu < 2.0
+            assert 0.4 < mira_small.cycle_time(cores, "p3dfft").total / p3 < 2.0
+
+    def test_large_grid_ratio(self):
+        fm = ParallelFFTModel(MIRA, 18432, 12288, 12288)
+        for cores, (p3, cu) in P.TABLE6_MIRA_LARGE.items():
+            if p3 is None:
+                continue
+            r = fm.cycle_time(cores, "p3dfft").total / fm.cycle_time(cores, "custom").total
+            assert 1.1 < r < 2.2, cores
+
+
+class TestIntelMachineCrossover:
+    """Table 6 Lonestar/Stampede: P3DFFT wins small, custom wins at scale."""
+
+    def test_lonestar_crossover(self, lonestar):
+        small = lonestar.cycle_time(24, "p3dfft").total / lonestar.cycle_time(24, "custom").total
+        large = lonestar.cycle_time(1536, "p3dfft").total / lonestar.cycle_time(
+            1536, "custom"
+        ).total
+        assert small < 1.0  # P3DFFT faster at 24 cores
+        assert large > 1.3  # custom much faster at 1536
+
+    def test_stampede_crossover(self):
+        fm = ParallelFFTModel(STAMPEDE, 1024, 1024, 1024)
+        small = fm.cycle_time(64, "p3dfft").total / fm.cycle_time(64, "custom").total
+        large = fm.cycle_time(4096, "p3dfft").total / fm.cycle_time(4096, "custom").total
+        assert small < 1.0
+        assert large > 1.3
+
+    def test_p3dfft_sync_floor(self, lonestar):
+        """The ~0.19 s flattening of P3DFFT on the IB machines at scale."""
+        t768 = lonestar.cycle_time(768, "p3dfft").total
+        t1536 = lonestar.cycle_time(1536, "p3dfft").total
+        assert t1536 > 0.55 * t768  # far from halving
+
+
+class TestMemoryAccounting:
+    def test_p3dfft_needs_more_memory(self, mira_small):
+        """Table 6's N/A rows: P3DFFT runs out of memory first."""
+        for cores in (128, 1024):
+            assert mira_small.memory_elements_per_task(
+                cores, "p3dfft"
+            ) * cores > mira_small.memory_elements_per_task(cores, "custom") * MIRA.nodes(cores)

@@ -1,0 +1,80 @@
+"""GridCounts operation-count tests and paper-data integrity checks."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.kernels import (
+    ADVANCE_FLOPS_PER_POINT,
+    BACKWARD_FIELDS,
+    FORWARD_FIELDS,
+    PASSES_PER_SUBSTEP,
+    SUBSTEPS,
+    GridCounts,
+)
+
+
+class TestGridCounts:
+    def test_mode_and_quadrature_sizes(self):
+        c = GridCounts(nx=2048, ny=1024, nz=1024)
+        assert c.mx == 1024 and c.mz == 1023
+        assert c.nxq == 3072 and c.nzq == 1536
+
+    def test_dealias_flag(self):
+        c = GridCounts(nx=2048, ny=1024, nz=1024, dealias=False)
+        assert c.nxq == 2048 and c.nzq == 1024
+
+    def test_fft_flops_scale_n_log_n(self):
+        small = GridCounts(nx=1024, ny=64, nz=256)
+        big = GridCounts(nx=4096, ny=64, nz=256)
+        ratio = big.x_fft_flops() / small.x_fft_flops()
+        n_ratio = 4 * np.log2(big.nxq) / np.log2(small.nxq)
+        assert ratio == pytest.approx(n_ratio, rel=1e-12)
+
+    def test_transpose_volumes(self):
+        c = GridCounts(nx=256, ny=64, nz=128)
+        assert c.yz_bytes() == c.mode_points * 16
+        assert c.zx_bytes() == c.mx * c.nzq * c.ny * 16
+        assert c.zx_bytes() / c.yz_bytes() == pytest.approx(c.nzq / c.mz)
+
+    def test_per_step_totals(self):
+        c = GridCounts(nx=256, ny=64, nz=128)
+        z, x = c.fft_flops_per_step()
+        passes = SUBSTEPS * PASSES_PER_SUBSTEP
+        assert z == pytest.approx(passes * c.z_fft_flops())
+        assert x == pytest.approx(passes * c.x_fft_flops())
+        assert c.advance_flops_per_step() == pytest.approx(
+            ADVANCE_FLOPS_PER_POINT * c.mode_points * SUBSTEPS
+        )
+
+    def test_pass_structure_matches_paper(self):
+        """§2.3: 3 velocity fields down, 5 product fields back, per substep."""
+        assert FORWARD_FIELDS == 3
+        assert BACKWARD_FIELDS == 5
+        assert SUBSTEPS == 3
+
+
+class TestPaperDataIntegrity:
+    """Transcription sanity: sections must sum to the printed totals."""
+
+    @pytest.mark.parametrize("table", [P.TABLE9, P.TABLE10])
+    def test_sections_sum_to_total(self, table):
+        for system, rows in table.items():
+            for cores, (t, f, a, tot) in rows.items():
+                assert t + f + a == pytest.approx(tot, rel=0.02), (system, cores)
+
+    def test_table11_consistent_with_table9(self):
+        for cores, (mpi, hyb) in P.TABLE11_STRONG.items():
+            assert mpi == pytest.approx(P.TABLE9["Mira (MPI)"][cores][3], rel=0.01)
+            assert hyb == pytest.approx(P.TABLE9["Mira (Hybrid)"][cores][3], rel=0.01)
+
+    def test_table6_efficiency_claims(self):
+        """The custom column's Mira super-scaling: 8192-core entry beats
+        perfect scaling from 128 cores."""
+        t128 = P.TABLE6_MIRA_SMALL[128][1]
+        t8192 = P.TABLE6_MIRA_SMALL[8192][1]
+        assert t128 / t8192 > 8192 / 128  # efficiency > 100%
+
+    def test_headlines_present(self):
+        assert P.HEADLINES["production_dof"] == 242e9
+        assert P.HEADLINES["aggregate_tflops_786k"] == 271.0

@@ -1,0 +1,78 @@
+"""Machine/network spec tests."""
+
+import pytest
+
+from repro.perfmodel.machine import BLUE_WATERS, LONESTAR, MACHINES, MIRA, STAMPEDE
+
+
+class TestSpecs:
+    def test_all_four_systems_present(self):
+        assert set(MACHINES) == {"Mira", "Lonestar", "Stampede", "Blue Waters"}
+
+    def test_mira_matches_paper_hardware(self):
+        """§3: Power BQC 16C 1.60 GHz; §4.1.2: 12.8 GF/core peak, 18 B/cycle."""
+        assert MIRA.cores_per_node == 16
+        assert MIRA.hw_threads_per_core == 4
+        assert MIRA.clock_hz == 1.6e9
+        assert MIRA.flops_per_core == 12.8e9
+        assert MIRA.ddr_bw / MIRA.clock_hz == pytest.approx(18.0)
+
+    def test_mira_advance_rate_is_table2(self):
+        """The fitted sustained advance rate lands on Table 2's 1.16 GF."""
+        assert MIRA.advance_gflops_per_core == pytest.approx(1.16, rel=0.05)
+
+    def test_node_helpers(self):
+        assert MIRA.nodes(786432) == 49152
+        assert LONESTAR.nodes(384) == 32
+        with pytest.raises(ValueError):
+            MIRA.nodes(100)
+
+    def test_interconnect_kinds(self):
+        assert MIRA.network.kind == "torus" and MIRA.network.dims == 5
+        assert BLUE_WATERS.network.kind == "torus" and BLUE_WATERS.network.dims == 3
+        assert LONESTAR.network.kind == "fattree"
+        assert STAMPEDE.network.kind == "fattree"
+
+
+class TestNetworkLaws:
+    def test_torus_saturation_monotone(self):
+        s = [MIRA.network.saturation(n) for n in (64, 512, 4096, 49152)]
+        assert s == sorted(s, reverse=True)
+
+    def test_5d_torus_degrades_less_than_3d(self):
+        """The paper's Blue-Waters-vs-Mira story: 3-D tori collapse."""
+        mira_drop = MIRA.network.saturation(4096) / MIRA.network.saturation(128)
+        bw_drop = BLUE_WATERS.network.saturation(4096) / BLUE_WATERS.network.saturation(128)
+        assert bw_drop < mira_drop
+
+    def test_small_torus_is_link_rich(self):
+        assert MIRA.network.saturation(8) > 1.0
+
+    def test_fattree_flat_then_decay(self):
+        net = STAMPEDE.network
+        assert net.saturation(16) == 1.0
+        assert net.saturation(512) < 1.0
+
+    def test_task_factor(self):
+        net = MIRA.network
+        assert net.task_factor(1) == 1.0
+        assert net.task_factor(16) < net.task_factor(2) < 1.0
+
+    def test_effective_bw_mpi_vs_hybrid(self):
+        """Hybrid sees more bandwidth until the torus saturates (§5.3)."""
+        net = MIRA.network
+        mid = 8192
+        huge = 49152
+        assert net.effective_bw(mid, 1) > net.effective_bw(mid, 16)
+        ratio_mid = net.effective_bw(mid, 1) / net.effective_bw(mid, 16)
+        ratio_huge = net.effective_bw(huge, 1) / net.effective_bw(huge, 16)
+        assert ratio_huge < ratio_mid  # advantage shrinks at scale
+
+    def test_message_efficiency_bounds(self):
+        net = MIRA.network
+        assert net.message_efficiency(0) == 0.0
+        assert 0.99 < net.message_efficiency(1e9) <= 1.0
+
+    def test_fft_line_penalty(self):
+        assert MIRA.fft_line_penalty(100) == 1.0
+        assert MIRA.fft_line_penalty(100000) > MIRA.fft_line_penalty(10000) > 1.0

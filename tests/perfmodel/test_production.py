@@ -1,0 +1,61 @@
+"""Production-campaign planning tests (paper §6 headline numbers)."""
+
+import pytest
+
+from repro.perfmodel.production import (
+    FLOW_THROUGHS,
+    PAPER_CORE_HOURS,
+    PRODUCTION_CORES,
+    PRODUCTION_GRID,
+    STEPS_PER_FLOW_THROUGH,
+    comparison_dof,
+    degrees_of_freedom,
+    memory_footprint_bytes,
+    plan_campaign,
+)
+
+
+class TestCampaignPlanning:
+    def test_paper_core_hours_within_2x(self):
+        """§6: 650,000 steps on 524,288 cores ~ 260 million core-hours."""
+        est = plan_campaign()
+        assert est.total_steps == FLOW_THROUGHS * STEPS_PER_FLOW_THROUGH
+        assert est.cores == PRODUCTION_CORES
+        assert 0.5 < est.core_hours / PAPER_CORE_HOURS < 2.0
+
+    def test_implied_step_time_reasonable(self):
+        """The paper's arithmetic implies ~2.75 s/step; the model should land
+        in the same regime on the production grid."""
+        est = plan_campaign()
+        assert 1.0 < est.seconds_per_step < 6.0
+
+    def test_wall_days_plausible(self):
+        """Months of wall time, not hours, not years."""
+        est = plan_campaign()
+        assert 7.0 < est.wall_days < 365.0
+
+    def test_mpi_mode_campaign_costs_at_least_as_much(self):
+        hybrid = plan_campaign(mode="hybrid")
+        mpi = plan_campaign(mode="mpi")
+        assert mpi.core_hours > 0.9 * hybrid.core_hours
+
+
+class TestSizeClaims:
+    def test_dof_order_of_magnitude(self):
+        """10240 x 1536 x 7680 -> ~181e9 spectral DOF (paper quotes 242e9
+        with its basis conventions) — same order, right regime."""
+        dof = degrees_of_freedom(PRODUCTION_GRID)
+        assert 1.2e11 < dof < 3.0e11
+
+    def test_larger_than_previous_channel_dns(self):
+        """§1/§6: 15x the Hoyas-Jiménez 2006 channel."""
+        ratios = comparison_dof()
+        assert ratios["hoyas_ratio"] > 5.0
+
+    def test_memory_footprint_needs_a_big_machine(self):
+        """The production state does not fit any single node (that is why
+        524,288 cores): tens of TB."""
+        bytes_total = memory_footprint_bytes(PRODUCTION_GRID)
+        assert bytes_total > 5e12  # > 5 TB
+        per_node = bytes_total / (PRODUCTION_CORES / 16)
+        assert per_node < 16e9  # fits Mira's 16 GB/node when distributed

@@ -1,0 +1,78 @@
+"""Thread-scaling model tests (Tables 3-4)."""
+
+import pytest
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.machine import LONESTAR, MIRA
+from repro.perfmodel.threading import ThreadScalingModel
+
+
+@pytest.fixture
+def mira():
+    return ThreadScalingModel(MIRA)
+
+
+@pytest.fixture
+def lonestar():
+    return ThreadScalingModel(LONESTAR)
+
+
+class TestComputeKernels:
+    def test_physical_core_scaling_near_perfect(self, mira):
+        """Table 3: up to 16 cores, speedup within a few % of linear."""
+        for t in (2, 4, 8, 16):
+            assert mira.compute_speedup(t) == pytest.approx(t, rel=0.06)
+
+    def test_hw_threads_exceed_100pct_per_core(self, mira):
+        """Table 3 Mira: 16x2 -> ~173-187%, 16x4 -> ~204-216% per core."""
+        assert mira.compute_efficiency(32) > 1.6
+        assert mira.compute_efficiency(64) > 1.9
+
+    def test_matches_paper_table3_mira(self, mira):
+        for threads, (fft, adv) in P.TABLE3_MIRA.items():
+            model = mira.compute_speedup(threads)
+            lo, hi = min(fft, adv), max(fft, adv)
+            assert 0.85 * lo < model < 1.15 * hi, threads
+
+    def test_lonestar_socket_scaling(self, lonestar):
+        for cores, (fft, adv) in P.TABLE3_LONESTAR.items():
+            model = lonestar.compute_speedup(cores)
+            assert model == pytest.approx((fft + adv) / 2, rel=0.2)
+
+    def test_too_many_threads_raises(self, mira):
+        with pytest.raises(ValueError):
+            mira.compute_speedup(128)  # > 16 cores x 4 HW threads
+
+    def test_invalid_thread_count(self, mira):
+        with pytest.raises(ValueError):
+            mira.compute_speedup(0)
+
+
+class TestReorderKernel:
+    def test_linear_at_low_threads(self, mira):
+        """Table 4: 2 and 4 threads track the per-thread bandwidth."""
+        assert mira.reorder_bytes_per_cycle(2) == pytest.approx(3.8, rel=0.05)
+        assert mira.reorder_bytes_per_cycle(4) == pytest.approx(7.6, rel=0.05)
+
+    def test_saturates_near_paper_ceiling(self, mira):
+        """Table 4 peaks at 16.1 B/cycle around 16 threads."""
+        peak = max(mira.reorder_bytes_per_cycle(t) for t in (8, 16, 32))
+        assert 13.0 < peak < 17.0
+
+    def test_rise_then_fall(self, mira):
+        """Contention beyond saturation lowers throughput (Table 4)."""
+        b16 = mira.reorder_bytes_per_cycle(16)
+        b64 = mira.reorder_bytes_per_cycle(64)
+        assert b64 < b16
+
+    def test_speedup_well_below_compute_kernels(self, mira):
+        """Table 4 vs Table 3: reorder caps at ~6x, compute reaches ~16x."""
+        assert mira.reorder_speedup(16) < 0.6 * mira.compute_speedup(16)
+
+    def test_invalid_thread_count(self, mira):
+        with pytest.raises(ValueError):
+            mira.reorder_bandwidth_fraction(0)
+
+    def test_fraction_never_exceeds_one(self, mira):
+        for t in range(1, 65):
+            assert mira.reorder_bandwidth_fraction(t) <= 1.0

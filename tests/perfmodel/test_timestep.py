@@ -1,0 +1,188 @@
+"""Timestep model tests: golden shapes against the paper's Tables 5, 9-11."""
+
+import pytest
+
+from repro.perfmodel import paper_data as P
+from repro.perfmodel.machine import BLUE_WATERS, LONESTAR, MIRA, STAMPEDE
+from repro.perfmodel.network import SubcommGeometry, comm_geometry
+from repro.perfmodel.timestep import ParallelLayout, TimestepModel
+
+
+class TestParallelLayout:
+    def test_mpi_tasks(self):
+        lay = ParallelLayout(MIRA, 131072, mode="mpi")
+        assert lay.tasks == 131072
+        assert lay.tasks_per_node == 16
+        assert lay.comm_b_size == 16  # node-local by default
+
+    def test_hybrid_tasks(self):
+        lay = ParallelLayout(MIRA, 131072, mode="hybrid")
+        assert lay.tasks == 8192
+        assert lay.tasks_per_node == 1
+
+    def test_explicit_pb(self):
+        lay = ParallelLayout(MIRA, 8192, mode="mpi", pb=512)
+        assert lay.comm_a_size == 16
+
+    def test_invalid_pb(self):
+        with pytest.raises(ValueError):
+            _ = ParallelLayout(MIRA, 8192, mode="mpi", pb=100).comm_b_size
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(MIRA, 8192, mode="openmp")
+
+
+class TestCommGeometry:
+    def test_node_local(self):
+        g = comm_geometry(16, stride=1, tasks_per_node=16)
+        assert g.members_on_node == 16
+        assert g.off_node_fraction == 0.0
+
+    def test_strided_off_node(self):
+        g = comm_geometry(512, stride=16, tasks_per_node=16)
+        assert g.members_on_node == 1
+        assert g.off_node_fraction == pytest.approx(511 / 512)
+
+    def test_single_member(self):
+        g = SubcommGeometry(size=1, members_on_node=1)
+        assert g.off_node_fraction == 0.0
+
+
+def efficiency(table):
+    """Strong-scaling efficiencies relative to the smallest core count."""
+    cores = sorted(table)
+    t0, c0 = table[cores[0]], cores[0]
+    return {c: (t0 * c0) / (table[c] * c) for c in cores}
+
+
+class TestStrongScalingShape:
+    """Golden-shape assertions: the model must reproduce who degrades and
+    roughly how much, per Table 9."""
+
+    def model_totals(self, machine, grid, cores_list, mode="mpi"):
+        m = TimestepModel(machine, *grid)
+        return {
+            c: m.section_times(ParallelLayout(machine, c, mode=mode)).total
+            for c in cores_list
+        }
+
+    def test_mira_mpi_near_perfect(self):
+        totals = self.model_totals(MIRA, P.TABLE7["Mira"], list(P.TABLE9["Mira (MPI)"]))
+        eff = efficiency(totals)
+        assert eff[786432] > 0.85  # paper: 97%
+
+    def test_mira_hybrid_80pct_at_786k(self):
+        """The abstract's headline: ~80% at 786K vs 65K (hybrid)."""
+        totals = self.model_totals(
+            MIRA, P.TABLE7["Mira"], list(P.TABLE9["Mira (Hybrid)"]), mode="hybrid"
+        )
+        eff = efficiency(totals)
+        assert 0.6 < eff[786432] < 1.0
+
+    def test_blue_waters_transpose_collapse(self):
+        """Table 9: Blue Waters transpose efficiency falls to ~25%."""
+        m = TimestepModel(BLUE_WATERS, *P.TABLE7["Blue Waters"])
+        t = {
+            c: m.transpose_time(ParallelLayout(BLUE_WATERS, c))
+            for c in P.TABLE9["Blue Waters"]
+        }
+        eff = efficiency(t)
+        assert eff[16384] < 0.45
+
+    def test_blue_waters_communication_fraction_grows(self):
+        """§5.1: communication is ~80% at 2048 cores rising toward ~93%."""
+        m = TimestepModel(BLUE_WATERS, *P.TABLE7["Blue Waters"])
+        fracs = []
+        for c in (2048, 16384):
+            s = m.section_times(ParallelLayout(BLUE_WATERS, c))
+            fracs.append(s.transpose / s.total)
+        assert fracs[0] > 0.6
+        assert fracs[1] > fracs[0]
+
+    def test_on_node_kernels_scale_perfectly(self):
+        """FFT and advance columns scale ~linearly everywhere (Table 9)."""
+        for mach, grid in ((LONESTAR, P.TABLE7["Lonestar"]), (STAMPEDE, P.TABLE7["Stampede"])):
+            m = TimestepModel(mach, *grid)
+            cores = sorted(P.TABLE9[mach.name])
+            a0 = m.advance_time(ParallelLayout(mach, cores[0]))
+            a1 = m.advance_time(ParallelLayout(mach, cores[-1]))
+            assert a0 / a1 == pytest.approx(cores[-1] / cores[0], rel=0.01)
+
+    def test_absolute_times_within_2x_of_paper(self):
+        """Calibration guard: every modelled section within 2x of Table 9."""
+        cases = [
+            (MIRA, P.TABLE7["Mira"], "Mira (MPI)", "mpi"),
+            (MIRA, P.TABLE7["Mira"], "Mira (Hybrid)", "hybrid"),
+            (LONESTAR, P.TABLE7["Lonestar"], "Lonestar", "mpi"),
+            (STAMPEDE, P.TABLE7["Stampede"], "Stampede", "mpi"),
+            (BLUE_WATERS, P.TABLE7["Blue Waters"], "Blue Waters", "mpi"),
+        ]
+        for mach, grid, key, mode in cases:
+            m = TimestepModel(mach, *grid)
+            for cores, row in P.TABLE9[key].items():
+                s = m.section_times(ParallelLayout(mach, cores, mode=mode))
+                for model_v, paper_v in zip(s.as_tuple(), row):
+                    assert 0.5 < model_v / paper_v < 2.0, (key, cores)
+
+
+class TestWeakScalingShape:
+    def test_fft_degrades_with_growing_nx(self):
+        """§5.2: weak-scaling FFT loses efficiency (N log N + cache)."""
+        nxs, ny, nz = P.TABLE8["Mira"]
+        per_core = []
+        for nx, cores in zip(nxs, sorted(P.TABLE10["Mira (MPI)"])):
+            m = TimestepModel(MIRA, nx, ny, nz)
+            per_core.append(m.fft_time(ParallelLayout(MIRA, cores)))
+        assert per_core[-1] > 1.5 * per_core[0]
+
+    def test_advance_weak_scales_perfectly(self):
+        nxs, ny, nz = P.TABLE8["Mira"]
+        times = []
+        for nx, cores in zip(nxs, sorted(P.TABLE10["Mira (MPI)"])):
+            m = TimestepModel(MIRA, nx, ny, nz)
+            times.append(m.advance_time(ParallelLayout(MIRA, cores)))
+        assert max(times) / min(times) < 1.05
+
+
+class TestCommGridSweep:
+    def test_table5_ordering_mira(self):
+        """Node-local CommB is fastest; cost grows as CommB leaves the node."""
+        m = TimestepModel(MIRA, 2048, 1024, 1024)
+        sweep = m.comm_grid_sweep(8192, list(P.TABLE5_MIRA.keys()))
+        ordered = [sweep[k] for k in sorted(P.TABLE5_MIRA, key=lambda k: k[1])]
+        assert ordered[0] == min(ordered)
+        assert ordered[-1] > 1.3 * ordered[0]
+
+    def test_table5_lonestar_local_fastest(self):
+        m = TimestepModel(LONESTAR, 1536, 384, 1024)
+        sweep = m.comm_grid_sweep(384, list(P.TABLE5_LONESTAR.keys()))
+        assert sweep[(32, 12)] == min(sweep.values())
+
+    def test_sweep_validates_grid(self):
+        m = TimestepModel(MIRA, 2048, 1024, 1024)
+        with pytest.raises(ValueError):
+            m.comm_grid_sweep(8192, [(100, 16)])
+
+
+class TestMPIvsHybrid:
+    def test_hybrid_wins_midscale_converges_at_786k(self):
+        """Table 11: hybrid ~1.1-1.2x faster until the torus saturates."""
+        m = TimestepModel(MIRA, *P.TABLE7["Mira"])
+        ratios = {}
+        for cores in (131072, 262144, 786432):
+            mpi = m.section_times(ParallelLayout(MIRA, cores, mode="mpi")).total
+            hyb = m.section_times(ParallelLayout(MIRA, cores, mode="hybrid")).total
+            ratios[cores] = mpi / hyb
+        assert ratios[131072] > 1.0
+        assert abs(ratios[786432] - 1.0) < abs(ratios[131072] - 1.0) + 0.05
+
+
+class TestAggregateFlops:
+    def test_headline_rates(self):
+        """§5.3: ~271 TF aggregate (2.7% of peak), ~906 TF on-node at 786K."""
+        m = TimestepModel(MIRA, *P.TABLE7["Mira"])
+        agg = m.aggregate_flops(ParallelLayout(MIRA, 786432, mode="hybrid"))
+        assert 100e12 < agg["total_flops"] < 700e12
+        assert agg["on_node_flops"] > agg["total_flops"]
+        assert 0.01 < agg["peak_fraction"] < 0.06

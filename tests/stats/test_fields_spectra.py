@@ -1,0 +1,102 @@
+"""Field extraction and spectra tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.operators import WallNormalOps
+from repro.stats.fields import (
+    ascii_contour,
+    multiscale_zoom,
+    spanwise_vorticity_plane,
+    streamwise_velocity_plane,
+)
+from repro.stats.spectra import energy_spectrum_x, energy_spectrum_z, spectral_decay
+
+
+@pytest.fixture(scope="module")
+def dns():
+    d = ChannelDNS(ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=12))
+    d.initialize()
+    d.run(2)
+    return d
+
+
+class TestFieldExtraction:
+    def test_velocity_plane_shape(self, dns):
+        plane = streamwise_velocity_plane(dns)
+        assert plane.shape == (dns.grid.nxq, dns.grid.ny)
+
+    def test_velocity_plane_no_slip(self, dns):
+        plane = streamwise_velocity_plane(dns)
+        assert np.abs(plane[:, 0]).max() < 1e-8
+        assert np.abs(plane[:, -1]).max() < 1e-8
+
+    def test_vorticity_plane_real_and_shaped(self, dns):
+        plane = spanwise_vorticity_plane(dns, yplus=15.0)
+        assert plane.shape == (dns.grid.nxq, dns.grid.nzq)
+        assert np.isrealobj(plane) or np.abs(plane.imag).max() < 1e-10
+
+    def test_vorticity_dominated_by_mean_shear(self, dns):
+        """Near the wall omega_z ~ -du/dy < 0 on the lower wall."""
+        plane = spanwise_vorticity_plane(dns, yplus=5.0)
+        assert plane.mean() < 0.0
+
+    def test_requires_initialized_dns(self):
+        d = ChannelDNS(ChannelConfig(nx=16, ny=24, nz=16))
+        with pytest.raises(RuntimeError):
+            spanwise_vorticity_plane(d)
+
+
+class TestAsciiContour:
+    def test_dimensions(self, rng):
+        art = ascii_contour(rng.standard_normal((40, 30)), width=50, height=12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 50 for line in lines)
+
+    def test_constant_field(self):
+        art = ascii_contour(np.ones((10, 10)), width=8, height=4)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_contour(np.zeros(5))
+
+    def test_zoom(self, rng):
+        full, zoom = multiscale_zoom(rng.standard_normal((32, 16)), factor=4)
+        assert zoom.shape == (8, 4)
+        np.testing.assert_array_equal(zoom, full[:8, :4])
+
+
+class TestSpectra:
+    def test_parseval_consistency_x(self, dns):
+        """Sum of E(kx) equals the plane-averaged energy at that height."""
+        g = dns.grid
+        ops = WallNormalOps(g)
+        iy = g.ny // 2
+        kx, e = energy_spectrum_x(g, ops, dns.state.u, iy)
+        from repro.core.transforms import to_quadrature_grid
+
+        phys = to_quadrature_grid(ops.values(dns.state.u), g)
+        assert e.sum() == pytest.approx((phys[:, :, iy] ** 2).mean(), rel=1e-8)
+
+    def test_parseval_consistency_z(self, dns):
+        g = dns.grid
+        ops = WallNormalOps(g)
+        iy = g.ny // 2
+        kz, e = energy_spectrum_z(g, ops, dns.state.u, iy)
+        from repro.core.transforms import to_quadrature_grid
+
+        phys = to_quadrature_grid(ops.values(dns.state.u), g)
+        assert e.sum() == pytest.approx((phys[:, :, iy] ** 2).mean(), rel=1e-8)
+
+    def test_spectra_nonnegative(self, dns):
+        g = dns.grid
+        ops = WallNormalOps(g)
+        for fn in (energy_spectrum_x, energy_spectrum_z):
+            _, e = fn(g, ops, dns.state.v, g.ny // 3)
+            assert np.all(e >= 0)
+
+    def test_spectral_decay_metric(self):
+        assert spectral_decay(np.array([1.0, 0.1, 1e-6])) == pytest.approx(6.0)

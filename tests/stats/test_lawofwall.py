@@ -1,0 +1,90 @@
+"""Law-of-the-wall reference curve tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats.lawofwall import (
+    log_law,
+    reichardt,
+    total_stress_residual,
+    variance_reference,
+    viscous_sublayer,
+)
+
+
+class TestMeanProfiles:
+    def test_sublayer_limit(self):
+        """Reichardt -> y+ as y+ -> 0."""
+        yp = np.array([0.01, 0.1, 0.5])
+        np.testing.assert_allclose(reichardt(yp), viscous_sublayer(yp), rtol=0.08)
+
+    def test_log_limit(self):
+        """Reichardt tracks the log law in the overlap region."""
+        yp = np.array([200.0, 500.0, 1000.0])
+        np.testing.assert_allclose(reichardt(yp), log_law(yp), rtol=0.03)
+
+    def test_log_law_slope(self):
+        y1, y2 = 100.0, 1000.0
+        slope = (log_law(y2) - log_law(y1)) / np.log(y2 / y1)
+        assert slope == pytest.approx(1 / 0.41)
+
+    def test_monotone_increasing(self):
+        yp = np.logspace(-1, 3.5, 200)
+        assert np.all(np.diff(reichardt(yp)) > 0)
+
+
+class TestVarianceReferences:
+    @pytest.mark.parametrize("comp,peak_loc", [("uu", 15), ("ww", 40), ("vv", 70)])
+    def test_peak_positions(self, comp, peak_loc):
+        yp = np.linspace(0.5, 1000, 4000)
+        prof = variance_reference(yp, 5200.0, comp)
+        assert yp[np.argmax(prof)] == pytest.approx(peak_loc, rel=0.35)
+
+    def test_uu_is_largest(self):
+        """Fig. 6: <uu> dominates <ww> dominates <vv> near the wall."""
+        yp = np.linspace(1, 100, 200)
+        uu = variance_reference(yp, 5200.0, "uu").max()
+        ww = variance_reference(yp, 5200.0, "ww").max()
+        vv = variance_reference(yp, 5200.0, "vv").max()
+        assert uu > ww > vv
+
+    def test_vanish_at_wall(self):
+        for comp in ("uu", "vv", "ww", "uv"):
+            val = variance_reference(np.array([1e-3]), 5200.0, comp)[0]
+            assert val < 0.05
+
+    def test_vanish_at_centreline(self):
+        re = 5200.0
+        for comp in ("uu", "vv", "ww"):
+            prof = variance_reference(np.array([re]), re, comp)[0]
+            peak = variance_reference(np.linspace(1, re, 2000), re, comp).max()
+            assert prof < 0.2 * peak
+
+    def test_uu_peak_grows_with_re(self):
+        """The known slow Re_tau growth of the near-wall peak."""
+        yp = np.linspace(1, 60, 300)
+        lo = variance_reference(yp, 180.0, "uu").max()
+        hi = variance_reference(yp, 5200.0, "uu").max()
+        assert hi > lo
+
+    def test_uv_approaches_total_stress(self):
+        """-<uv>+ -> 1 - y/h away from the wall (Fig. 6 shear stress)."""
+        re = 5200.0
+        yp = np.array([500.0])
+        uv = variance_reference(yp, re, "uv")[0]
+        assert uv == pytest.approx(1 - 500 / re, abs=0.05)
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError):
+            variance_reference(np.array([1.0]), 180.0, "qq")
+
+
+class TestStressBalance:
+    def test_residual_zero_for_consistent_inputs(self):
+        re = 1000.0
+        yp = np.linspace(1, re, 500)
+        h = 1e-3
+        dudy = (reichardt(yp + h) - reichardt(yp - h)) / (2 * h)
+        uv = variance_reference(yp, re, "uv")
+        res = total_stress_residual(yp, -uv, dudy, re)
+        assert np.abs(res).max() < 0.02

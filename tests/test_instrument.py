@@ -1,0 +1,65 @@
+"""SectionTimers instrumentation tests."""
+
+import time
+
+from repro.instrument import SectionTimers
+
+
+class TestSectionTimers:
+    def test_accumulates(self):
+        t = SectionTimers()
+        with t.section("fft"):
+            time.sleep(0.01)
+        with t.section("fft"):
+            time.sleep(0.01)
+        assert t.elapsed["fft"] >= 0.02
+        assert t.calls["fft"] == 2
+
+    def test_total(self):
+        t = SectionTimers()
+        with t.section("a"):
+            pass
+        with t.section("b"):
+            pass
+        assert t.total() == t.elapsed["a"] + t.elapsed["b"]
+
+    def test_records_on_exception(self):
+        t = SectionTimers()
+        try:
+            with t.section("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t.calls["x"] == 1
+
+    def test_reset(self):
+        t = SectionTimers()
+        with t.section("a"):
+            pass
+        t.reset()
+        assert t.total() == 0.0
+        assert not t.calls
+
+    def test_merge(self):
+        t1, t2 = SectionTimers(), SectionTimers()
+        with t1.section("a"):
+            time.sleep(0.002)
+        with t2.section("a"):
+            time.sleep(0.002)
+        with t2.section("b"):
+            pass
+        t1.merge(t2)
+        assert t1.calls["a"] == 2
+        assert "b" in t1.elapsed
+
+    def test_report_format(self):
+        t = SectionTimers()
+        with t.section("transpose"):
+            pass
+        rep = t.report()
+        assert "transpose=" in rep and "total=" in rep
+
+    def test_canonical_names(self):
+        assert SectionTimers.TRANSPOSE == "transpose"
+        assert SectionTimers.FFT == "fft"
+        assert SectionTimers.ADVANCE == "ns_advance"
