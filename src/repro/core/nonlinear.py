@@ -66,13 +66,18 @@ class NonlinearTerms:
     def physical_velocity(
         self, u: np.ndarray, v: np.ndarray, w: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Velocity on (this worker's part of) the quadrature grid."""
+        """Velocity on (this worker's part of) the quadrature grid.
+
+        Backends exposing the batched ``to_physical_many`` entry point
+        (the planned serial pipeline) get the whole 3-velocity stack in
+        one call; others (the pencil path) are driven per field.
+        """
         ops, be = self.ops, self.backend
-        return (
-            be.to_physical(ops.values(u)),
-            be.to_physical(ops.values(v)),
-            be.to_physical(ops.values(w)),
-        )
+        vals = (ops.values(u), ops.values(v), ops.values(w))
+        if hasattr(be, "to_physical_many"):
+            up, vp, wp = be.to_physical_many(vals)
+            return up, vp, wp
+        return tuple(be.to_physical(f) for f in vals)
 
     def compute(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> NonlinearResult:
         """Evaluate h_g, h_v and mean sources from velocity coefficients."""
@@ -87,12 +92,15 @@ class NonlinearTerms:
         p4 = up * wp
         p5 = vp * wp
 
-        # step (h): Galerkin projection back to spectral space, then y-expand
-        a1 = ops.coeffs(be.from_physical(p1))
-        a2 = ops.coeffs(be.from_physical(p2))
-        a3 = ops.coeffs(be.from_physical(p3))
-        a4 = ops.coeffs(be.from_physical(p4))
-        a5 = ops.coeffs(be.from_physical(p5))
+        # step (h): Galerkin projection back to spectral space, then
+        # y-expand — the 5-product stack goes through the backend in one
+        # batched call when it supports it.
+        products = (p1, p2, p3, p4, p5)
+        if hasattr(be, "from_physical_many"):
+            specs = be.from_physical_many(products)
+        else:
+            specs = [be.from_physical(p) for p in products]
+        a1, a2, a3, a4, a5 = (ops.coeffs(s) for s in specs)
 
         ikx, ikz = m.ikx, m.ikz
         h1 = -(ikx * ops.values(a1) + ops.dvalues(a3) + ikz * ops.values(a4))

@@ -25,7 +25,7 @@ from repro.core.grid import ChannelGrid
 from repro.core.initial import perturbed_state
 from repro.core.statistics import RunningStatistics
 from repro.core.timestepper import ChannelState, IMEXStepper, SMR91
-from repro.core.transforms import to_quadrature_grid
+from repro.core.transforms import SerialTransformBackend
 from repro.core.velocity import divergence
 
 
@@ -54,6 +54,15 @@ class ChannelConfig:
     seed: int = 0
     scheme: SMR91 = field(default_factory=SMR91)
     nu_value: float | None = None
+    #: FFT execution backend of the transform pipeline: "numpy" (default,
+    #: bit-reproducible), "scipy" (pocketfft with a thread pool) or "auto".
+    fft_backend: str = "numpy"
+    #: thread count for the scipy backend (the paper's OpenMP-threaded
+    #: FFTs); None leaves the backend single-threaded.
+    fft_workers: int | None = None
+    #: plan selection: "estimate" (deterministic default) or "measure"
+    #: (time strategy candidates once at startup, FFTW_MEASURE style).
+    fft_planning: str = "estimate"
 
     @property
     def nu(self) -> float:
@@ -78,8 +87,19 @@ class ChannelDNS:
             degree=config.degree,
             stretch=config.stretch,
         )
+        self.backend = SerialTransformBackend(
+            self.grid,
+            backend=config.fft_backend,
+            workers=config.fft_workers,
+            planning=config.fft_planning,
+        )
         self.stepper = IMEXStepper(
-            self.grid, nu=config.nu, dt=config.dt, forcing=config.forcing, scheme=config.scheme
+            self.grid,
+            nu=config.nu,
+            dt=config.dt,
+            forcing=config.forcing,
+            scheme=config.scheme,
+            backend=self.backend,
         )
         self.statistics = RunningStatistics(self.grid)
         self.state: ChannelState | None = None
@@ -140,12 +160,10 @@ class ChannelDNS:
         """(u, v, w) on the dealiased quadrature grid ``(nxq, nzq, ny)``."""
         s = self._require_state()
         ops = self.stepper.ops
-        g = self.grid
-        return (
-            to_quadrature_grid(ops.values(s.u), g),
-            to_quadrature_grid(ops.values(s.v), g),
-            to_quadrature_grid(ops.values(s.w), g),
+        up, vp, wp = self.backend.to_physical_many(
+            (ops.values(s.u), ops.values(s.v), ops.values(s.w))
         )
+        return up, vp, wp
 
     def divergence_norm(self) -> float:
         """Max collocated spectral divergence (machine-zero for this scheme)."""

@@ -41,8 +41,64 @@ class SerialTransformBackend:
     """Transform backend used by the serial solver.
 
     Exposes the interface :class:`repro.core.nonlinear.NonlinearTerms`
-    expects: ``to_physical`` / ``from_physical`` over full spectral
-    arrays.  The distributed solver substitutes the pencil pipeline.
+    expects — ``to_physical`` / ``from_physical`` over full spectral
+    arrays, plus the batched ``*_many`` stack entry points — backed by
+    the planned, buffer-reusing
+    :class:`~repro.fft.pipeline.TransformPipeline`.  The distributed
+    solver substitutes the pencil pipeline.
+
+    With the default ``backend="numpy"`` / ``planning="estimate"`` the
+    results are bit-for-bit identical to :func:`to_quadrature_grid` /
+    :func:`from_quadrature_grid`; ``backend="scipy"`` adds a ``workers``
+    thread knob and ``planning="measure"`` lets the planner time
+    strategy candidates (both agree with the reference to roundoff).
+    """
+
+    def __init__(
+        self,
+        grid: ChannelGrid,
+        backend: str = "numpy",
+        workers: int | None = None,
+        planning: str = "estimate",
+        planner=None,
+        counters=None,
+    ) -> None:
+        from repro.fft.pipeline import TransformPipeline
+
+        self.grid = grid
+        self.pipeline = TransformPipeline(
+            grid,
+            backend=backend,
+            workers=workers,
+            flags=planning,
+            planner=planner,
+            counters=counters,
+        )
+
+    @property
+    def counters(self):
+        """The pipeline's :class:`~repro.instrument.TransformCounters`."""
+        return self.pipeline.counters
+
+    def to_physical(self, spec: np.ndarray) -> np.ndarray:
+        return self.pipeline.to_physical(spec)
+
+    def from_physical(self, phys: np.ndarray) -> np.ndarray:
+        return self.pipeline.from_physical(phys)
+
+    def to_physical_many(self, specs) -> list[np.ndarray]:
+        return self.pipeline.to_physical_many(specs)
+
+    def from_physical_many(self, physes) -> list[np.ndarray]:
+        return self.pipeline.from_physical_many(physes)
+
+
+class NaiveTransformBackend:
+    """The seed's unplanned per-call transform path, kept as a reference.
+
+    Allocates fresh pad/scratch arrays at every stage — the behaviour
+    :class:`SerialTransformBackend` replaced.  Used by equivalence tests
+    and as the baseline of ``benchmarks/bench_transform_pipeline.py``.
     """
 
     def __init__(self, grid: ChannelGrid) -> None:

@@ -15,7 +15,10 @@ here:
   the zero-padding of steps (b)/(e) of the simulation loop.
 
 :mod:`repro.fft.plans` provides an FFTW-style plan/planner API (the paper
-relies on FFTW 3.3 planning to pick transform and transpose variants).
+relies on FFTW 3.3 planning to pick transform and transpose variants) with
+numpy and threaded-scipy execution backends, and
+:mod:`repro.fft.pipeline` the planned, buffer-reusing transform pipeline
+that executes the dealiased (b)-(f)/(h) chain for the serial solver.
 """
 
 from repro.fft.fourier import (
@@ -33,12 +36,24 @@ from repro.fft.fourier import (
     truncate_from_quadrature_c,
     truncate_from_quadrature_r,
 )
-from repro.fft.plans import FFTPlan, Planner, PlanFlags
+from repro.fft.pipeline import TransformPipeline
+from repro.fft.plans import (
+    FFTPlan,
+    PlanFlags,
+    Planner,
+    available_backends,
+    default_planner,
+    resolve_backend,
+)
 
 __all__ = [
     "FFTPlan",
     "PlanFlags",
     "Planner",
+    "TransformPipeline",
+    "available_backends",
+    "default_planner",
+    "resolve_backend",
     "complex_modes",
     "fft_wavenumbers",
     "forward_c2c",

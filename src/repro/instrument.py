@@ -1,10 +1,16 @@
-"""Section timers mirroring the paper's per-timestep breakdown.
+"""Section timers and transform counters for the per-timestep breakdown.
 
 The benchmarks of Tables 9-10 report elapsed time split into
 ``Transpose`` / ``FFT`` / ``N-S time advance`` (plus Total).  Both the
 serial and the distributed drivers instrument themselves with a
 :class:`SectionTimers` so the same breakdown can be printed for any run.
 The paper used ``MPI_wtime``; we use :func:`time.perf_counter`.
+
+:class:`TransformCounters` is the cheap bookkeeping attached to the
+planned transform pipeline (:mod:`repro.fft.pipeline`): workspace bytes
+allocated, transforms executed and per-stage wall time.  The workspace
+counters are how the zero-allocation property of the hot path is
+asserted — after warm-up, repeated substeps must not grow them.
 """
 
 from __future__ import annotations
@@ -56,3 +62,61 @@ class SectionTimers:
             self.elapsed[k] += v
         for k, v in other.calls.items():
             self.calls[k] += v
+
+
+class TransformCounters:
+    """Allocation / execution / timing counters of a transform pipeline.
+
+    ``workspace_bytes`` and ``workspace_allocs`` count only pipeline-owned
+    scratch (pad buffers, transpose staging); transform *outputs* are
+    caller-owned fresh arrays and are not workspace.  A warmed-up pipeline
+    holds both constant across calls — the zero-allocation invariant.
+    """
+
+    def __init__(self) -> None:
+        self.workspace_bytes = 0
+        self.workspace_allocs = 0
+        self.transforms = 0
+        self.fields_forward = 0
+        self.fields_backward = 0
+        self.stage_seconds: dict[str, float] = defaultdict(float)
+        self.stage_calls: dict[str, int] = defaultdict(int)
+
+    def count_workspace(self, arr) -> None:
+        """Record a newly allocated workspace array."""
+        self.workspace_bytes += int(arr.nbytes)
+        self.workspace_allocs += 1
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one pipeline stage (cumulative per stage name)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stage_seconds[name] += time.perf_counter() - t0
+            self.stage_calls[name] += 1
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "workspace_bytes": self.workspace_bytes,
+            "workspace_allocs": self.workspace_allocs,
+            "transforms": self.transforms,
+            "fields_forward": self.fields_forward,
+            "fields_backward": self.fields_backward,
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_calls": dict(self.stage_calls),
+        }
+
+    def report(self) -> str:
+        parts = [
+            f"workspace={self.workspace_bytes}B/{self.workspace_allocs} allocs",
+            f"transforms={self.transforms}",
+            f"fields={self.fields_forward}fwd/{self.fields_backward}bwd",
+        ]
+        parts += [f"{k}={v:.4f}s" for k, v in sorted(self.stage_seconds.items())]
+        return "  ".join(parts)

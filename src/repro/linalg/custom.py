@@ -47,28 +47,37 @@ class FoldedLU:
         n, W = spec.n, spec.window
         jlo = self.jlo
         data = self.data
-        # Per-row window position of the diagonal element.
-        self._mdiag = np.arange(n) - jlo
+        # Structure-only index arithmetic, computed once up front: the
+        # window position of each row's diagonal, and each pivot row's
+        # stored tail (slice past the diagonal) with its width.  None of
+        # it depends on the values being eliminated, so nothing of it
+        # belongs in the elimination loops.
+        mdiag = np.arange(n) - jlo
+        self._mdiag = mdiag
+        tail_width = W - mdiag - 1
+        tail_slice = [slice(int(d) + 1, W) for d in mdiag]
         if check:
             self._initial_max = np.abs(data).max(axis=(1, 2))
 
+        pivot_checked = np.zeros(n, dtype=bool)
         for i in range(1, n):
             lo_i = jlo[i]
-            for j in range(lo_i, i):
-                m = j - lo_i
-                mj = j - jlo[j]
-                pivot = data[:, j, mj]
-                if np.any(pivot == 0.0):
-                    bad = int(np.argmax(pivot == 0.0))
-                    raise ZeroDivisionError(
-                        f"zero pivot at row {j} of batch member {bad}; "
-                        "the matrix needs pivoting — not a collocation system?"
-                    )
-                ell = data[:, i, m] / pivot
-                data[:, i, m] = ell
-                src = data[:, j, mj + 1 :]
-                if src.shape[1]:
-                    data[:, i, m + 1 : m + 1 + src.shape[1]] -= ell[:, None] * src
+            row = data[:, i]
+            for m, j in enumerate(range(lo_i, i)):
+                pivot = data[:, j, mdiag[j]]
+                if not pivot_checked[j]:
+                    if np.any(pivot == 0.0):
+                        bad = int(np.argmax(pivot == 0.0))
+                        raise ZeroDivisionError(
+                            f"zero pivot at row {j} of batch member {bad}; "
+                            "the matrix needs pivoting — not a collocation system?"
+                        )
+                    pivot_checked[j] = True
+                ell = row[:, m] / pivot
+                row[:, m] = ell
+                width = tail_width[j]
+                if width:
+                    row[:, m + 1 : m + 1 + width] -= ell[:, None] * data[:, j, tail_slice[j]]
 
         if check:
             growth = np.abs(data).max(axis=(1, 2)) / self._initial_max

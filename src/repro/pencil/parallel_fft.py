@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft.fourier import quadrature_points
+from repro.fft.plans import Planner, default_planner
 from repro.instrument import SectionTimers
 from repro.mpi.simmpi import CartesianCommunicator
 from repro.pencil.decomp import PencilDecomp, block_size
@@ -63,6 +64,10 @@ class PencilTransforms:
         call :meth:`plan` to measure and choose per communicator.
     timers:
         Optional :class:`SectionTimers` receiving transpose/fft sections.
+    planner:
+        :class:`~repro.fft.plans.Planner` supplying the per-pencil 1-D
+        FFT plans; defaults to the process-wide shared cache, so the
+        serial pipeline and every rank reuse each other's plans.
     """
 
     drop_nyquist = True
@@ -76,6 +81,7 @@ class PencilTransforms:
         dealias: bool = True,
         method: TransposeMethod | None = None,
         timers: SectionTimers | None = None,
+        planner: Planner | None = None,
     ) -> None:
         if len(cart.dims) != 2:
             raise ValueError("need a 2-D cartesian communicator (pa, pb)")
@@ -84,6 +90,7 @@ class PencilTransforms:
         self.nx, self.ny, self.nz = nx, ny, nz
         self.dealias = dealias
         self.timers = timers or SectionTimers()
+        self.planner = planner if planner is not None else default_planner()
 
         self.mx = nx // 2 if self.drop_nyquist else nx // 2 + 1
         self.mz = nz - 1 if self.drop_nyquist else nz
@@ -122,21 +129,17 @@ class PencilTransforms:
                 zfull = _insert_fft_modes(zp, self.nzq, axis=1)
             else:
                 zfull = self._pad_full_spectrum(zp, self.nzq, axis=1)
-            zphys = np.fft.ifft(zfull * self.nzq, axis=1)  # (mxa, nzq, nyb)
+            zfull *= self.nzq
+            zphys = self.planner.execute("ifft", zfull, axis=1)  # (mxa, nzq, nyb)
         with t.section(t.TRANSPOSE):
             xp = self.t_zx.execute(zphys)  # (mx, nzqa, nyb)
         with t.section(t.FFT):
-            if self.drop_nyquist:
-                shape = list(xp.shape)
-                shape[0] = self.nxq // 2 + 1
-                xfull = np.zeros(shape, dtype=complex)
-                xfull[: self.mx] = xp
-            else:
-                shape = list(xp.shape)
-                shape[0] = self.nxq // 2 + 1
-                xfull = np.zeros(shape, dtype=complex)
-                xfull[: xp.shape[0]] = xp
-            phys = np.fft.irfft(xfull * self.nxq, n=self.nxq, axis=0)
+            shape = list(xp.shape)
+            shape[0] = self.nxq // 2 + 1
+            xfull = np.zeros(shape, dtype=complex)
+            xfull[: xp.shape[0]] = xp
+            xfull *= self.nxq
+            phys = self.planner.execute("irfft", xfull, axis=0, nout=self.nxq)
         return phys
 
     def from_physical(self, phys: np.ndarray) -> np.ndarray:
@@ -145,12 +148,14 @@ class PencilTransforms:
         if phys.shape != d.x_pencil_shape_phys:
             raise ValueError(f"expected {d.x_pencil_shape_phys}, got {phys.shape}")
         with t.section(t.FFT):
-            xh = np.fft.rfft(phys, axis=0) / self.nxq
-            xh = np.ascontiguousarray(xh[: self.mx])  # truncate pad (+ Nyquist)
+            xh = self.planner.execute("rfft", phys, axis=0)
+            xh = xh[: self.mx]  # truncate pad (+ Nyquist); stays contiguous
+            xh /= self.nxq
         with t.section(t.TRANSPOSE):
             zp = self.t_xz.execute(xh)  # (mxa, nzq, nyb)
         with t.section(t.FFT):
-            zh = np.fft.fft(zp, axis=1) / self.nzq
+            zh = self.planner.execute("fft", zp, axis=1)
+            zh /= self.nzq
             if self.drop_nyquist:
                 zh = _extract_fft_modes(zh, self.nz, axis=1)
             else:

@@ -88,7 +88,11 @@ class TestTransformProperties:
         )
         a = to_quadrature_grid(f, g)
         b = to_quadrature_grid(scale * f, g)
-        np.testing.assert_allclose(b, scale * a, rtol=1e-10, atol=1e-30)
+        # rtol alone would demand 1e-10 relative accuracy of near-zero
+        # entries, which FFT roundoff cannot deliver; anchor the absolute
+        # floor to the field's magnitude instead.
+        atol = 1e-12 * scale * np.abs(a).max()
+        np.testing.assert_allclose(b, scale * a, rtol=1e-10, atol=atol)
 
 
 class TestHelmholtzProperties:
