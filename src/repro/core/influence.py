@@ -14,7 +14,12 @@ classical decomposition (Kim–Moin–Moser 1987) solves it as the paper's
 
 All solves are the custom banded solver batched over the local block of
 wavenumbers (the full grid in serial, one pencil block per rank in
-parallel).
+parallel).  Within a substep the solves are *fused*: omega_y shares the
+Helmholtz factors with phi, so :meth:`InfluenceSolver.advance` sweeps
+both right-hand sides in one blocked pass of the solve engine, and the
+Green's-function setup batches its two Helmholtz and two Poisson solves
+the same way.  Fixed-width sweeps make the fused results bit-for-bit
+identical to separate :meth:`solve` calls.
 """
 
 from __future__ import annotations
@@ -57,14 +62,18 @@ class InfluenceSolver:
         self.poisson_lu = helm.factor_poisson(ksq)
 
         # Green's functions: unit phi at the upper (+) / lower (-) wall.
-        rhs_plus = np.zeros((self.nmodes, self.ny))
-        rhs_plus[:, -1] = 1.0
-        rhs_minus = np.zeros((self.nmodes, self.ny))
-        rhs_minus[:, 0] = 1.0
-        a_phi_plus = self.helm_lu.solve(rhs_plus)
-        a_phi_minus = self.helm_lu.solve(rhs_minus)
-        self.a_v_plus = self._poisson_with_bc(ops.values(a_phi_plus))
-        self.a_v_minus = self._poisson_with_bc(ops.values(a_phi_minus))
+        # The two Helmholtz solves ride one multi-RHS sweep, as do the
+        # two Poisson solves that follow.
+        rhs = np.zeros((self.nmodes, self.ny, 2))
+        rhs[:, -1, 0] = 1.0  # plus wall
+        rhs[:, 0, 1] = 1.0  # minus wall
+        a_phi = self.helm_lu.solve_many(rhs)
+        phi_vals = ops.values(np.ascontiguousarray(a_phi.transpose(2, 0, 1)))
+        phi_vals[:, :, 0] = 0.0
+        phi_vals[:, :, -1] = 0.0
+        a_v = self.poisson_lu.solve_many(np.ascontiguousarray(phi_vals.transpose(1, 2, 0)))
+        self.a_v_plus = np.ascontiguousarray(a_v[:, :, 0])
+        self.a_v_minus = np.ascontiguousarray(a_v[:, :, 1])
 
         dplus_lo, dplus_up = ops.wall_derivatives(self.a_v_plus)
         dminus_lo, dminus_up = ops.wall_derivatives(self.a_v_minus)
@@ -83,6 +92,16 @@ class InfluenceSolver:
         rhs[:, -1] = 0.0
         return self.poisson_lu.solve(rhs)
 
+    def _v_from_phi(self, a_phi: np.ndarray) -> np.ndarray:
+        """phi coefficients -> v coefficients with the influence correction."""
+        a_v = self._poisson_with_bc(self.ops.values(a_phi))
+        d_lo, d_up = self.ops.wall_derivatives(a_v)
+        m = self._minv
+        c_plus = -(m[:, 0] * d_up + m[:, 1] * d_lo)
+        c_minus = -(m[:, 2] * d_up + m[:, 3] * d_lo)
+        a_v += c_plus[:, None] * self.a_v_plus + c_minus[:, None] * self.a_v_minus
+        return a_v
+
     # ------------------------------------------------------------------
 
     def solve(self, rhs_phi: np.ndarray) -> np.ndarray:
@@ -97,11 +116,27 @@ class InfluenceSolver:
         rhs[:, 0] = 0.0
         rhs[:, -1] = 0.0
         a_phi = self.helm_lu.solve(rhs)
-        a_v = self._poisson_with_bc(self.ops.values(a_phi))
+        return self._v_from_phi(a_phi).reshape(shape)
 
-        d_lo, d_up = self.ops.wall_derivatives(a_v)
-        m = self._minv
-        c_plus = -(m[:, 0] * d_up + m[:, 1] * d_lo)
-        c_minus = -(m[:, 2] * d_up + m[:, 3] * d_lo)
-        a_v += c_plus[:, None] * self.a_v_plus + c_minus[:, None] * self.a_v_minus
-        return a_v.reshape(shape)
+    def advance(
+        self, rhs_phi: np.ndarray, rhs_omega: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused viscous substep: advance phi/v *and* omega_y together.
+
+        omega_y obeys the same Helmholtz pencil as phi (identical
+        factors), so one blocked sweep of the engine carries both
+        right-hand sides — the per-substep fusion of the solve engine.
+        Boundary rows of both are overwritten with homogeneous Dirichlet
+        data.  Returns ``(a_v, a_omega)``; bit-for-bit identical to the
+        separate :meth:`solve` + ``helm_lu.solve(rhs_omega)`` path.
+        """
+        shape_phi = rhs_phi.shape
+        shape_omega = rhs_omega.shape
+        rp = rhs_phi.reshape(self.nmodes, self.ny).copy()
+        ro = rhs_omega.reshape(self.nmodes, self.ny).copy()
+        for r in (ro, rp):
+            r[:, 0] = 0.0
+            r[:, -1] = 0.0
+        a_omega, a_phi = self.helm_lu.engine().solve_stack([ro, rp])
+        a_v = self._v_from_phi(a_phi).reshape(shape_phi)
+        return a_v, a_omega.reshape(shape_omega)

@@ -24,17 +24,17 @@ class WallNormalOps:
 
     # -- coefficient-space operations (batched over leading axes) -------
 
-    def values(self, coeffs: np.ndarray) -> np.ndarray:
-        """Collocated values of spline coefficients."""
-        return coeffs @ self.B.T
+    def values(self, coeffs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Collocated values of spline coefficients (``out=`` reuses a buffer)."""
+        return np.matmul(coeffs, self.B.T, out=out)
 
-    def dvalues(self, coeffs: np.ndarray) -> np.ndarray:
-        """Collocated first-derivative values."""
-        return coeffs @ self.D1.T
+    def dvalues(self, coeffs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Collocated first-derivative values (``out=`` reuses a buffer)."""
+        return np.matmul(coeffs, self.D1.T, out=out)
 
-    def d2values(self, coeffs: np.ndarray) -> np.ndarray:
-        """Collocated second-derivative values."""
-        return coeffs @ self.D2.T
+    def d2values(self, coeffs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Collocated second-derivative values (``out=`` reuses a buffer)."""
+        return np.matmul(coeffs, self.D2.T, out=out)
 
     def coeffs(self, values: np.ndarray) -> np.ndarray:
         """Spline coefficients interpolating collocated values."""

@@ -11,6 +11,12 @@ planned transform pipeline (:mod:`repro.fft.pipeline`): workspace bytes
 allocated, transforms executed and per-stage wall time.  The workspace
 counters are how the zero-allocation property of the hot path is
 asserted — after warm-up, repeated substeps must not grow them.
+
+:class:`SolveCounters` is the same discipline for the batched banded
+solve engine (:mod:`repro.linalg.engine`): engine-owned workspace is
+counted once at construction and must stay frozen across steady-state
+solves, while the execution counters (solves, sweeps, columns) keep
+moving.
 """
 
 from __future__ import annotations
@@ -21,7 +27,12 @@ from contextlib import contextmanager
 
 
 class SectionTimers:
-    """Named cumulative wall-clock timers."""
+    """Named cumulative wall-clock timers.
+
+    Sections listed in :attr:`NESTED` are timed *inside* another section
+    (``solve`` runs within ``ns_advance``) and are therefore excluded
+    from :meth:`total`, which otherwise sums disjoint sections.
+    """
 
     #: canonical section names used by the drivers
     TRANSPOSE = "transpose"
@@ -29,6 +40,10 @@ class SectionTimers:
     ADVANCE = "ns_advance"
     NONLINEAR = "nonlinear_products"
     REORDER = "reorder"
+    SOLVE = "solve"
+
+    #: sections nested inside another section (not added to the total)
+    NESTED = frozenset({SOLVE})
 
     def __init__(self) -> None:
         self.elapsed: dict[str, float] = defaultdict(float)
@@ -45,7 +60,7 @@ class SectionTimers:
             self.calls[name] += 1
 
     def total(self) -> float:
-        return sum(self.elapsed.values())
+        return sum(v for k, v in self.elapsed.items() if k not in self.NESTED)
 
     def reset(self) -> None:
         self.elapsed.clear()
@@ -120,3 +135,47 @@ class TransformCounters:
         ]
         parts += [f"{k}={v:.4f}s" for k, v in sorted(self.stage_seconds.items())]
         return "  ".join(parts)
+
+
+class SolveCounters:
+    """Workspace / execution counters of a batched banded solve engine.
+
+    ``workspace_bytes``/``workspace_allocs`` count only engine-owned
+    scratch (the pair/group right-hand-side panels); solve *outputs* are
+    caller-owned fresh arrays and are not workspace.  A built engine
+    holds both frozen across steady-state solves — the zero-allocation
+    invariant asserted by the tests.  ``sweeps`` counts blocked
+    forward+backward passes, ``columns`` the real RHS columns swept
+    (a complex right-hand side is two columns).
+    """
+
+    def __init__(self) -> None:
+        self.workspace_bytes = 0
+        self.workspace_allocs = 0
+        self.solves = 0
+        self.sweeps = 0
+        self.columns = 0
+
+    def count_workspace(self, arr) -> None:
+        """Record a newly allocated engine workspace array."""
+        self.workspace_bytes += int(arr.nbytes)
+        self.workspace_allocs += 1
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "workspace_bytes": self.workspace_bytes,
+            "workspace_allocs": self.workspace_allocs,
+            "solves": self.solves,
+            "sweeps": self.sweeps,
+            "columns": self.columns,
+        }
+
+    def report(self) -> str:
+        return (
+            f"workspace={self.workspace_bytes}B/{self.workspace_allocs} allocs  "
+            f"solves={self.solves}  sweeps={self.sweeps}  columns={self.columns}"
+        )

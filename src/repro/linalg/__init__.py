@@ -12,7 +12,10 @@ condition rows of the B-spline collocation systems.  The custom solver
   (the collocation matrices are real), instead of promoting the matrix to
   complex (ZGBTRF) or splitting the vectors (DGBTRS on re/im);
 * is *batched* over the Fourier-wavenumber axis, the Python/NumPy
-  equivalent of the paper's hand-unrolled cache-resident loops.
+  equivalent of the paper's hand-unrolled cache-resident loops;
+* sweeps through the blocked :mod:`repro.linalg.engine`, which processes
+  panels of rows per Python iteration with pre-inverted diagonal blocks
+  and persistent (zero-allocation) workspaces.
 
 Reference solvers mirroring the LAPACK/MKL/ESSL paths live in
 :mod:`repro.linalg.reference`; Helmholtz/Poisson collocation assembly in
@@ -21,6 +24,7 @@ Reference solvers mirroring the LAPACK/MKL/ESSL paths live in
 
 from repro.linalg.structure import BandedSystemSpec, FoldedBanded
 from repro.linalg.custom import FoldedLU, solve_corner_banded
+from repro.linalg.engine import BandedSolveEngine, default_block
 from repro.linalg.reference import (
     netlib_banded_lu,
     netlib_banded_solve,
@@ -30,9 +34,11 @@ from repro.linalg.reference import (
 from repro.linalg.helmholtz import HelmholtzOperator, helmholtz_system, poisson_system
 
 __all__ = [
+    "BandedSolveEngine",
     "BandedSystemSpec",
     "FoldedBanded",
     "FoldedLU",
+    "default_block",
     "HelmholtzOperator",
     "helmholtz_system",
     "netlib_banded_lu",

@@ -78,18 +78,24 @@ class HelmholtzOperator:
         data[:, -1, :] = self._bc_row(-1, 0)
         return FoldedBanded(self.spec, data)
 
-    def factor_helmholtz(self, ksq: np.ndarray, c: float | np.ndarray) -> FoldedLU:
-        return FoldedLU(self.assemble_helmholtz(ksq, c))
+    def factor_helmholtz(
+        self, ksq: np.ndarray, c: float | np.ndarray, block: int | None = None
+    ) -> FoldedLU:
+        """Factored eq.-(3) pencil; ``block`` fixes the engine panel height."""
+        return FoldedLU(self.assemble_helmholtz(ksq, c), block=block)
 
-    def factor_poisson(self, ksq: np.ndarray) -> FoldedLU:
-        return FoldedLU(self.assemble_poisson(ksq))
+    def factor_poisson(self, ksq: np.ndarray, block: int | None = None) -> FoldedLU:
+        """Factored eq.-(4) pencil; ``block`` fixes the engine panel height."""
+        return FoldedLU(self.assemble_poisson(ksq), block=block)
 
 
-def helmholtz_system(basis: BSplineBasis, ksq: np.ndarray, c: float | np.ndarray) -> FoldedLU:
+def helmholtz_system(
+    basis: BSplineBasis, ksq: np.ndarray, c: float | np.ndarray, block: int | None = None
+) -> FoldedLU:
     """One-shot factored Helmholtz pencil (see :class:`HelmholtzOperator`)."""
-    return HelmholtzOperator(basis).factor_helmholtz(ksq, c)
+    return HelmholtzOperator(basis).factor_helmholtz(ksq, c, block=block)
 
 
-def poisson_system(basis: BSplineBasis, ksq: np.ndarray) -> FoldedLU:
+def poisson_system(basis: BSplineBasis, ksq: np.ndarray, block: int | None = None) -> FoldedLU:
     """One-shot factored Poisson pencil (see :class:`HelmholtzOperator`)."""
-    return HelmholtzOperator(basis).factor_poisson(ksq)
+    return HelmholtzOperator(basis).factor_poisson(ksq, block=block)

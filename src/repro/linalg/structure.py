@@ -56,6 +56,20 @@ class BandedSystemSpec:
         i = np.arange(self.n)
         return np.clip(i - self.kl, 0, self.n - self.window)
 
+    @property
+    def mdiag(self) -> np.ndarray:
+        """Window position of each row's diagonal: ``data[:, i, mdiag[i]]``."""
+        return np.arange(self.n) - self.jlo
+
+    @property
+    def coupling_width(self) -> int:
+        """Maximum reach of any row beyond its diagonal, in either
+        direction (``W - 1``): the number of previously solved entries a
+        blocked sweep panel can depend on.  ``jlo`` is non-decreasing and
+        clipped, so every stored element of row ``i`` lies in columns
+        ``[i - coupling_width, i + coupling_width]``."""
+        return self.window - 1
+
     # ------------------------------------------------------------------
     # memory accounting (for the paper's "memory reduced by half" claim)
     # ------------------------------------------------------------------

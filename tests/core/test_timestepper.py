@@ -119,6 +119,38 @@ class TestInvariants:
         assert dns.state.time == pytest.approx(4 * cfg.dt)
 
 
+class TestFusedSolves:
+    def test_fused_equals_unfused_bit_for_bit(self):
+        """The fused omega/phi sweep must not change the trajectory at all:
+        every state array identical after several full steps."""
+        cfg = ChannelConfig(nx=8, ny=17, nz=8, dt=5e-4, init_amplitude=0.3, seed=5)
+        fused = ChannelDNS(cfg)
+        unfused = ChannelDNS(cfg)
+        unfused.stepper.fused_solves = False
+        assert fused.stepper.fused_solves
+        fused.initialize()
+        unfused.initialize()
+        fused.run(4)
+        unfused.run(4)
+        for name in ("v", "omega_y", "u00", "w00", "u", "w"):
+            a = getattr(fused.state, name)
+            b = getattr(unfused.state, name)
+            assert np.array_equal(a, b), f"{name} diverged between solve paths"
+
+    def test_solve_section_timed_inside_advance(self):
+        cfg = ChannelConfig(nx=8, ny=17, nz=8, dt=5e-4, init_amplitude=0.3, seed=5)
+        dns = ChannelDNS(cfg)
+        dns.initialize()
+        dns.run(1)
+        t = dns.stepper.timers
+        assert 0.0 < t.elapsed[t.SOLVE] < t.elapsed[t.ADVANCE]
+        assert t.calls[t.SOLVE] >= 3  # at least one per substep
+        # nested: the total must not double-count the solve time
+        assert t.total() == pytest.approx(sum(
+            v for k, v in t.elapsed.items() if k != t.SOLVE
+        ))
+
+
 class TestTemporalConvergence:
     def test_third_order_in_time(self):
         """Richardson: halving dt shrinks the error by ~2³ (allow >= 2²)."""

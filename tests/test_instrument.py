@@ -1,8 +1,10 @@
-"""SectionTimers instrumentation tests."""
+"""SectionTimers / SolveCounters instrumentation tests."""
 
 import time
 
-from repro.instrument import SectionTimers
+import numpy as np
+
+from repro.instrument import SectionTimers, SolveCounters
 
 
 class TestSectionTimers:
@@ -63,3 +65,37 @@ class TestSectionTimers:
         assert SectionTimers.TRANSPOSE == "transpose"
         assert SectionTimers.FFT == "fft"
         assert SectionTimers.ADVANCE == "ns_advance"
+        assert SectionTimers.SOLVE == "solve"
+
+    def test_nested_sections_excluded_from_total(self):
+        """SOLVE runs inside ADVANCE; summing both would double-count."""
+        t = SectionTimers()
+        with t.section(t.ADVANCE):
+            with t.section(t.SOLVE):
+                time.sleep(0.002)
+        assert t.elapsed[t.SOLVE] > 0.0
+        assert t.total() == t.elapsed[t.ADVANCE]
+        assert t.SOLVE in t.NESTED
+
+
+class TestSolveCounters:
+    def test_workspace_and_execution_counters(self):
+        c = SolveCounters()
+        c.count_workspace(np.empty((4, 8)))
+        assert c.workspace_allocs == 1
+        assert c.workspace_bytes == 4 * 8 * 8
+        c.solves += 2
+        c.sweeps += 3
+        c.columns += 5
+        snap = c.snapshot()
+        assert snap == {
+            "workspace_bytes": 256,
+            "workspace_allocs": 1,
+            "solves": 2,
+            "sweeps": 3,
+            "columns": 5,
+        }
+        rep = c.report()
+        assert "workspace=256B" in rep and "solves=2" in rep
+        c.reset()
+        assert c.snapshot()["workspace_bytes"] == 0
