@@ -7,7 +7,9 @@ operated (at laptop scale):
 2. spectrally regrid the state onto a finer production grid,
 3. continue with checkpointing and a mass-flux hold,
 4. interrupt-and-restart, verifying exact continuation,
-5. estimate what the *paper's* campaign costs through the machine model.
+5. survive a mid-run blow-up under the watchdog-supervised harness
+   (rollback to the last good snapshot, retry, bit-exact recovery),
+6. estimate what the *paper's* campaign costs through the machine model.
 
 Run:  python examples/production_workflow.py
 """
@@ -18,8 +20,10 @@ import pathlib
 import numpy as np
 
 from repro import ChannelConfig, ChannelDNS
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import CheckpointRotation, load_checkpoint, save_checkpoint
 from repro.core.control import CFLController, MassFluxController, current_bulk_velocity
+from repro.core.health import HealthMonitor
+from repro.core.supervisor import RunSupervisor, SupervisorPolicy
 from repro.core.regrid import regrid_state
 from repro.perfmodel.production import (
     PAPER_CORE_HOURS,
@@ -65,6 +69,9 @@ def main() -> None:
     print("stage 4: restart from the checkpoint and verify exact continuation")
     straight = ChannelDNS(prod_cfg)
     straight.initialize(prod.state.copy())
+    # the flux controller drifted the forcing away from the config value;
+    # the checkpoint carries it, so the comparison run must too
+    straight.stepper.forcing = prod.stepper.forcing
     straight.run(5)
 
     resumed = load_checkpoint(ckpt)
@@ -72,8 +79,36 @@ def main() -> None:
     err = float(np.abs(resumed.state.v - straight.state.v).max())
     print(f"  |restarted - uninterrupted| = {err:.2e} (bit-exact)\n")
 
-    # -- stage 5: price the real campaign ---------------------------------
-    print("stage 5: the paper's production campaign through the machine model")
+    # -- stage 5: survive a blow-up under supervision ---------------------
+    print("stage 5: supervised recovery from an injected mid-run blow-up")
+    reference = ChannelDNS(prod_cfg)
+    reference.initialize(resumed.state.copy())
+    reference.run(12)
+
+    supervised = ChannelDNS(prod_cfg)
+    supervised.initialize(resumed.state.copy())
+    sup = RunSupervisor(
+        supervised,
+        CheckpointRotation(workdir / "rotation", keep=3),
+        monitor=HealthMonitor(),
+        policy=SupervisorPolicy(checkpoint_every=5),
+    )
+
+    crashed = []
+
+    def cosmic_ray(dns):  # a one-shot NaN, as a node fault would leave
+        if dns.step_count == supervised_start + 8 and not crashed:
+            crashed.append(dns.step_count)
+            dns.state.v[0, 0, 0] = np.nan
+
+    supervised_start = supervised.step_count
+    final = sup.run(12, callback=cosmic_ray)
+    err = float(np.abs(final.state.v - reference.state.v).max())
+    print(f"  injected NaN at step +8; {sup.report()}")
+    print(f"  |recovered - uninterrupted| = {err:.2e} (bit-exact)\n")
+
+    # -- stage 6: price the real campaign ---------------------------------
+    print("stage 6: the paper's production campaign through the machine model")
     est = plan_campaign()
     print(f"  grid 10240 x 1536 x 7680 on 524,288 Mira cores (hybrid)")
     print(f"  modelled {est.seconds_per_step:.2f} s/step x {est.total_steps:,} steps")

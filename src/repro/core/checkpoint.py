@@ -1,83 +1,632 @@
-"""Checkpoint / restart for the channel DNS.
+"""Durable checkpoint / restart for the channel DNS.
 
 The paper's production run spans 650,000 steps over months of machine
-allocations — checkpointing is load-bearing infrastructure.  State is
-saved as a compressed ``.npz`` (coefficients + time + configuration
-fingerprint).  Restart is *exact*: the RK3 scheme's cross-step memory
-(the zeta-weighted previous nonlinear term) is only used within a step
+allocations on up to 786K cores — checkpointing is load-bearing
+infrastructure, and a checkpoint that can be *lost* (crash mid-write) or
+*silently wrong* (bit rot, truncated transfer) is worse than none.  This
+module therefore treats durability as part of the format:
+
+* **Atomic writes** — every file is written to a temporary sibling,
+  flushed and ``fsync``'d, then moved into place with :func:`os.replace`
+  (atomic on POSIX); the containing directory is fsync'd afterwards so
+  the rename itself is durable.  A crash mid-save leaves the previous
+  checkpoint untouched.
+* **Checksummed payloads** — the embedded JSON manifest records a CRC32
+  per array; :func:`load_checkpoint` recomputes and verifies them,
+  raising :class:`CheckpointCorruptError` on any mismatch (on top of the
+  zip container's own integrity checks, which catch raw bit flips).
+* **Rotation with fallback** — :class:`CheckpointRotation` keeps the
+  newest ``keep`` snapshots plus a ``latest`` pointer and, when asked to
+  restore, falls back to the newest snapshot that *verifies*, so a
+  corrupt head never strands a campaign.
+* **Sharded parallel snapshots** — :class:`ShardedCheckpointRotation`
+  saves one shard per SimMPI rank (each rank's own y-pencil block) plus
+  a rank-0 ``manifest.json``, with a coordinated consistency check on
+  load; all restore decisions derive from ``bcast``/``allreduce`` so
+  every rank takes the same branch and the loader cannot deadlock.
+
+Restart is *exact*: the RK3 scheme's cross-step memory (the
+zeta-weighted previous nonlinear term) is only used within a step
 (zeta_1 = 0), so a restarted trajectory is bit-for-bit the uninterrupted
-one — pinned by ``tests/core/test_checkpoint.py``.
+one — pinned by ``tests/core/test_checkpoint.py`` and the supervised
+crash-recovery tests in ``tests/core/test_supervisor.py``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import shutil
+import zlib
 from dataclasses import asdict
 
 import numpy as np
 
 from repro.core.solver import ChannelConfig, ChannelDNS
-from repro.core.timestepper import ChannelState
+from repro.core.timestepper import SMR91, ChannelState
 
-FORMAT_VERSION = 1
+#: current writer version and the lineage of versions this reader accepts.
+#: v1: bare ``savez`` without manifest/checksums (legacy); v2: manifest
+#: with per-array CRC32, scheme fingerprint and runtime (dt, forcing).
+FORMAT_VERSION = 2
+FORMAT_HISTORY = (1, 2)
+
+#: grid/discretization keys that must match between a checkpoint and an
+#: explicitly supplied config.
+_GRID_KEYS = ("nx", "ny", "nz", "degree", "stretch", "lx", "lz")
 
 
-def _config_fingerprint(config: ChannelConfig) -> dict:
-    d = asdict(config)
-    d.pop("scheme", None)  # dataclass of floats; covered by format version
-    return d
+class CheckpointCorruptError(ValueError):
+    """A checkpoint failed verification (bad container, checksum or manifest)."""
 
 
-def save_checkpoint(dns: ChannelDNS, path: str | pathlib.Path) -> None:
-    """Write the DNS state and configuration fingerprint to ``path``."""
-    state = dns.state
-    if state is None:
-        raise RuntimeError("nothing to checkpoint: initialize() first")
+# ----------------------------------------------------------------------
+# low-level atomic, checksummed npz I/O
+# ----------------------------------------------------------------------
+
+
+def _normalize_path(path: str | pathlib.Path) -> pathlib.Path:
+    """Append ``.npz`` when missing so save and load agree on the name.
+
+    ``np.savez_compressed`` silently appends the suffix when handed a bare
+    path; normalizing here means callers may pass either form to either
+    side.
+    """
     path = pathlib.Path(path)
-    np.savez_compressed(
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _crc32(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(path: pathlib.Path, write_fn) -> None:
+    """Write-to-temp + fsync + atomic rename; ``write_fn(fh)`` fills the file."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed before the rename
+            tmp.unlink()
+    _fsync_dir(path.parent)
+
+
+def _atomic_write_npz(
+    path: pathlib.Path, manifest: dict, arrays: dict[str, np.ndarray]
+) -> None:
+    """Atomically write a checkpoint file: arrays + checksummed manifest."""
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    manifest = dict(manifest)
+    manifest["arrays"] = {
+        k: {"crc32": _crc32(v), "shape": list(v.shape), "dtype": str(v.dtype)}
+        for k, v in payload.items()
+    }
+    _atomic_write_bytes(
         path,
-        format_version=FORMAT_VERSION,
-        config_json=json.dumps(_config_fingerprint(dns.config)),
-        time=state.time,
-        step_count=dns.step_count,
-        v=state.v,
-        omega_y=state.omega_y,
-        u00=state.u00,
-        w00=state.w00,
+        lambda fh: np.savez_compressed(fh, manifest_json=json.dumps(manifest), **payload),
     )
 
 
-def load_checkpoint(path: str | pathlib.Path, config: ChannelConfig | None = None) -> ChannelDNS:
-    """Rebuild a ready-to-run :class:`ChannelDNS` from a checkpoint.
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    _atomic_write_bytes(path, lambda fh: fh.write(text.encode()))
 
-    If ``config`` is omitted it is reconstructed from the file; if given,
-    it must match the checkpoint's discretization.
+
+def _read_npz(path: pathlib.Path, verify: bool = True) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a checkpoint file, returning ``(manifest, arrays)``.
+
+    Container-level failures (truncation, bad zip, bad zlib streams) and
+    checksum mismatches raise :class:`CheckpointCorruptError`; version
+    mismatches raise a plain :class:`ValueError` naming the supported
+    lineage.
     """
-    path = pathlib.Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint format {version}")
-        stored = json.loads(str(data["config_json"]))
-        if config is None:
-            config = ChannelConfig(**stored)
-        else:
-            for key in ("nx", "ny", "nz", "degree", "stretch", "lx", "lz"):
-                if getattr(config, key) != stored[key]:
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            keys = set(data.files)
+            # the explicit key is authoritative when present (v1 layout, or
+            # a file whose version was deliberately rewritten)
+            if "format_version" in keys:
+                version = int(data["format_version"])
+            elif "manifest_json" in keys:
+                version = None  # decided by the manifest below
+            else:
+                raise CheckpointCorruptError(f"{path.name}: no checkpoint header")
+            if "manifest_json" not in keys:
+                if version != 1:
                     raise ValueError(
-                        f"checkpoint grid mismatch on {key!r}: "
-                        f"{stored[key]} (file) vs {getattr(config, key)} (given)"
+                        f"unsupported checkpoint format {version}; "
+                        f"this build reads versions {FORMAT_HISTORY}"
                     )
-        state = ChannelState(
-            v=data["v"].copy(),
-            omega_y=data["omega_y"].copy(),
-            u00=data["u00"].copy(),
-            w00=data["w00"].copy(),
-            time=float(data["time"]),
-        )
-        step_count = int(data["step_count"])
+                return _read_v1(data)
+            manifest = json.loads(str(data["manifest_json"]))
+            if version is None:
+                version = int(manifest.get("format_version", -1))
+            if version not in FORMAT_HISTORY or version == 1:
+                raise ValueError(
+                    f"unsupported checkpoint format {version}; "
+                    f"this build reads versions {FORMAT_HISTORY}"
+                )
+            arrays: dict[str, np.ndarray] = {}
+            for name, meta in manifest["arrays"].items():
+                arr = data[name]
+                if verify:
+                    crc = _crc32(arr)
+                    if crc != int(meta["crc32"]):
+                        raise CheckpointCorruptError(
+                            f"{path.name}: checksum mismatch on array {name!r} "
+                            f"(stored {meta['crc32']:#010x}, computed {crc:#010x})"
+                        )
+                arrays[name] = arr.copy()
+            return manifest, arrays
+    except ValueError:
+        raise
+    except Exception as exc:  # truncated/garbled container, missing keys, IO error
+        raise CheckpointCorruptError(f"{path.name}: unreadable checkpoint ({exc})") from exc
+
+
+def _read_v1(data) -> tuple[dict, dict[str, np.ndarray]]:
+    """Adapt a legacy v1 file (no manifest, no checksums) to the v2 shape."""
+    manifest = {
+        "format_version": 1,
+        "format_history": [1],
+        "kind": "serial",
+        "config": json.loads(str(data["config_json"])),
+        "time": float(data["time"]),
+        "step_count": int(data["step_count"]),
+        "runtime": None,
+    }
+    arrays = {k: data[k].copy() for k in ("v", "omega_y", "u00", "w00")}
+    return manifest, arrays
+
+
+def verify_checkpoint(path: str | pathlib.Path) -> tuple[bool, str]:
+    """Cheaply decide whether ``path`` is a loadable, checksum-clean checkpoint."""
+    try:
+        _read_npz(_normalize_path(path), verify=True)
+        return True, "ok"
+    except Exception as exc:  # noqa: BLE001 - any failure means "not verifiable"
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+# ----------------------------------------------------------------------
+# configuration fingerprint
+# ----------------------------------------------------------------------
+
+
+def _config_fingerprint(config: ChannelConfig) -> dict:
+    """JSON-able config snapshot, including the RK scheme coefficients."""
+    d = asdict(config)
+    d["scheme"] = {k: [float(x) for x in v] for k, v in asdict(config.scheme).items()}
+    return d
+
+
+def _scheme_coeffs(scheme: SMR91) -> dict:
+    return {k: [float(x) for x in v] for k, v in asdict(scheme).items()}
+
+
+def _check_fingerprint(stored: dict, config: ChannelConfig) -> None:
+    """Reject grid or scheme mismatches with a message naming the field."""
+    for key in _GRID_KEYS:
+        if getattr(config, key) != stored[key]:
+            raise ValueError(
+                f"checkpoint grid mismatch on {key!r}: "
+                f"{stored[key]} (file) vs {getattr(config, key)} (given)"
+            )
+    stored_scheme = stored.get("scheme")
+    if stored_scheme is not None:
+        given = _scheme_coeffs(config.scheme)
+        if given != stored_scheme:
+            raise ValueError(
+                "checkpoint scheme mismatch: the file was written with RK "
+                f"coefficients {stored_scheme} but the given config uses "
+                f"{given}; restart with the matching scheme"
+            )
+
+
+def _config_from_fingerprint(stored: dict) -> ChannelConfig:
+    kwargs = dict(stored)
+    scheme = kwargs.pop("scheme", None)
+    if isinstance(scheme, dict):
+        kwargs["scheme"] = SMR91(**{k: tuple(v) for k, v in scheme.items()})
+    return ChannelConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# serial save / load
+# ----------------------------------------------------------------------
+
+
+def save_checkpoint(dns: ChannelDNS, path: str | pathlib.Path) -> pathlib.Path:
+    """Atomically write the DNS state + checksummed manifest; returns the path.
+
+    The manifest carries the full configuration fingerprint (grid, scheme
+    coefficients, format-version history) and the *runtime* dt/forcing —
+    which may have drifted from the config under a
+    :class:`~repro.core.control.CFLController` or
+    :class:`~repro.core.control.MassFluxController` — so a restart can
+    continue the trajectory exactly.
+    """
+    state = dns.state
+    if state is None:
+        raise RuntimeError("nothing to checkpoint: initialize() first")
+    path = _normalize_path(path)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "format_history": list(FORMAT_HISTORY),
+        "kind": "serial",
+        "config": _config_fingerprint(dns.config),
+        "time": float(state.time),
+        "step_count": int(dns.step_count),
+        "runtime": {"dt": float(dns.stepper.dt), "forcing": float(dns.stepper.forcing)},
+    }
+    arrays = {
+        "v": state.v,
+        "omega_y": state.omega_y,
+        "u00": state.u00,
+        "w00": state.w00,
+    }
+    _atomic_write_npz(path, manifest, arrays)
+    return path
+
+
+def load_checkpoint(
+    path: str | pathlib.Path,
+    config: ChannelConfig | None = None,
+    *,
+    restore_runtime: bool | None = None,
+) -> ChannelDNS:
+    """Rebuild a ready-to-run :class:`ChannelDNS` from a verified checkpoint.
+
+    If ``config`` is omitted it is reconstructed from the file and the
+    runtime dt/forcing are restored (exact continuation).  If given, it
+    must match the checkpoint's grid *and* RK scheme; runtime values then
+    default to the supplied config (legitimate e.g. to restart with a
+    different dt) unless ``restore_runtime=True``.
+    """
+    path = _normalize_path(path)
+    manifest, arrays = _read_npz(path, verify=True)
+    stored = manifest["config"]
+    if restore_runtime is None:
+        restore_runtime = config is None
+    if config is None:
+        config = _config_from_fingerprint(stored)
+    else:
+        _check_fingerprint(stored, config)
+    state = ChannelState(
+        v=arrays["v"],
+        omega_y=arrays["omega_y"],
+        u00=arrays["u00"],
+        w00=arrays["w00"],
+        time=float(manifest["time"]),
+    )
     dns = ChannelDNS(config)
     dns.initialize(state)
-    dns.step_count = step_count
+    dns.step_count = int(manifest["step_count"])
+    runtime = manifest.get("runtime")
+    if restore_runtime and runtime is not None:
+        dns.stepper.set_dt(float(runtime["dt"]))
+        dns.stepper.forcing = float(runtime["forcing"])
     return dns
+
+
+# ----------------------------------------------------------------------
+# rotation: keep-K snapshots with a latest pointer and verified fallback
+# ----------------------------------------------------------------------
+
+
+class CheckpointRotation:
+    """Keep the last ``keep`` snapshots of a run under one directory.
+
+    ``save`` writes ``<basename>-<step>.npz`` atomically, repoints the
+    ``latest`` file and prunes beyond ``keep``.  ``load_latest`` walks the
+    pointer first, then every remaining snapshot newest-first, and
+    restores the first one that passes checksum verification — a corrupt
+    head falls back instead of killing the campaign.  Pass a
+    :class:`~repro.instrument.RecoveryCounters` to surface save/prune/
+    verify-failure counts through the instrumentation layer.
+    """
+
+    POINTER = "latest"
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        basename: str = "ckpt",
+        keep: int = 3,
+        counters=None,
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.basename = basename
+        self.keep = int(keep)
+        self.counters = counters
+
+    # -- inventory ------------------------------------------------------
+
+    def snapshots(self) -> list[pathlib.Path]:
+        """Snapshot files, newest (highest step) first."""
+
+        def step_of(p: pathlib.Path) -> int:
+            try:
+                return int(p.stem.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                return -1
+
+        found = [p for p in self.directory.glob(f"{self.basename}-*.npz") if step_of(p) >= 0]
+        return sorted(found, key=step_of, reverse=True)
+
+    @property
+    def latest_path(self) -> pathlib.Path | None:
+        """The pointer target when it exists, else the newest snapshot."""
+        pointer = self.directory / self.POINTER
+        if pointer.exists():
+            target = self.directory / pointer.read_text().strip()
+            if target.exists():
+                return target
+        snaps = self.snapshots()
+        return snaps[0] if snaps else None
+
+    # -- write ----------------------------------------------------------
+
+    def save(self, dns: ChannelDNS) -> pathlib.Path:
+        path = self.directory / f"{self.basename}-{dns.step_count:09d}.npz"
+        save_checkpoint(dns, path)
+        _atomic_write_text(self.directory / self.POINTER, path.name)
+        if self.counters is not None:
+            self.counters.checkpoints_saved += 1
+        for old in self.snapshots()[self.keep:]:
+            old.unlink(missing_ok=True)
+            if self.counters is not None:
+                self.counters.checkpoints_pruned += 1
+        return path
+
+    # -- verified restore ----------------------------------------------
+
+    def _candidates(self) -> list[pathlib.Path]:
+        ordered: list[pathlib.Path] = []
+        head = self.latest_path
+        if head is not None:
+            ordered.append(head)
+        for p in self.snapshots():
+            if p not in ordered:
+                ordered.append(p)
+        return ordered
+
+    def load_latest(
+        self,
+        config: ChannelConfig | None = None,
+        *,
+        restore_runtime: bool | None = None,
+    ) -> ChannelDNS:
+        """Restore the newest *verifiable* snapshot (fallback on corruption)."""
+        tried: list[str] = []
+        for path in self._candidates():
+            ok, reason = verify_checkpoint(path)
+            if not ok:
+                tried.append(f"{path.name}: {reason}")
+                if self.counters is not None:
+                    self.counters.verify_failures += 1
+                continue
+            return load_checkpoint(path, config=config, restore_runtime=restore_runtime)
+        detail = "; ".join(tried) if tried else "no snapshots found"
+        raise CheckpointCorruptError(
+            f"no verifiable checkpoint under {self.directory} ({detail})"
+        )
+
+
+# ----------------------------------------------------------------------
+# sharded parallel checkpoints (one shard per SimMPI rank)
+# ----------------------------------------------------------------------
+
+
+class ShardedCheckpointRotation:
+    """Per-rank sharded snapshots for :class:`DistributedChannelDNS`.
+
+    Layout::
+
+        <directory>/step-<N>/shard-r0003.npz   # rank 3's pencil block
+        <directory>/step-<N>/manifest.json     # rank 0: global metadata
+        <directory>/latest                     # rank 0: pointer
+
+    Every shard is itself an atomic, checksummed npz; the rank-0 manifest
+    (written only after a barrier confirms all shards are durable) names
+    the layout (nranks, pa, pb), the config fingerprint and the step, so
+    a restart can check consistency before touching any state.  All
+    load-time decisions are broadcast/reduced so every rank takes the
+    same branch — a half-written or corrupt snapshot is skipped by *all*
+    ranks together and the rotation falls back to the previous one.
+    """
+
+    POINTER = "latest"
+
+    def __init__(self, directory: str | pathlib.Path, keep: int = 3, counters=None) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = pathlib.Path(directory)
+        self.keep = int(keep)
+        self.counters = counters
+
+    # -- inventory ------------------------------------------------------
+
+    def snapshot_dirs(self) -> list[pathlib.Path]:
+        """Snapshot directories, newest (highest step) first."""
+
+        def step_of(p: pathlib.Path) -> int:
+            try:
+                return int(p.name.rsplit("-", 1)[1])
+            except (IndexError, ValueError):
+                return -1
+
+        found = [p for p in self.directory.glob("step-*") if p.is_dir() and step_of(p) >= 0]
+        return sorted(found, key=step_of, reverse=True)
+
+    def _candidate_names(self) -> list[str]:
+        ordered: list[str] = []
+        pointer = self.directory / self.POINTER
+        if pointer.exists():
+            name = pointer.read_text().strip()
+            if (self.directory / name).is_dir():
+                ordered.append(name)
+        for p in self.snapshot_dirs():
+            if p.name not in ordered:
+                ordered.append(p.name)
+        return ordered
+
+    # -- write ----------------------------------------------------------
+
+    def save(self, ddns) -> pathlib.Path:
+        """Collectively write one sharded snapshot of ``ddns``."""
+        comm = ddns.comm
+        state = ddns.state
+        if state is None:
+            raise RuntimeError("nothing to checkpoint: initialize() first")
+        snap = self.directory / f"step-{ddns.step_count:09d}"
+        if comm.rank == 0:
+            snap.mkdir(parents=True, exist_ok=True)
+        comm.barrier()
+        shard_manifest = {
+            "format_version": FORMAT_VERSION,
+            "format_history": list(FORMAT_HISTORY),
+            "kind": "shard",
+            "rank": comm.rank,
+            "a": ddns.decomp.a,
+            "b": ddns.decomp.b,
+            "owns_mean": bool(ddns.modes.owns_mean),
+            "time": float(state.time),
+            "step_count": int(ddns.step_count),
+        }
+        arrays = {"v": state.v, "omega_y": state.omega_y}
+        if ddns.modes.owns_mean:
+            arrays["u00"] = state.u00
+            arrays["w00"] = state.w00
+        _atomic_write_npz(snap / f"shard-r{comm.rank:04d}.npz", shard_manifest, arrays)
+        comm.barrier()  # all shards durable before the manifest names them
+        if comm.rank == 0:
+            manifest = {
+                "format_version": FORMAT_VERSION,
+                "format_history": list(FORMAT_HISTORY),
+                "kind": "sharded",
+                "step_count": int(ddns.step_count),
+                "time": float(state.time),
+                "nranks": comm.size,
+                "pa": ddns.transforms.pa,
+                "pb": ddns.transforms.pb,
+                "config": _config_fingerprint(ddns.config),
+                "runtime": {
+                    "dt": float(ddns.stepper.dt),
+                    "forcing": float(ddns.stepper.forcing),
+                },
+                "shards": [f"shard-r{r:04d}.npz" for r in range(comm.size)],
+            }
+            _atomic_write_bytes(
+                snap / "manifest.json", lambda fh: fh.write(json.dumps(manifest).encode())
+            )
+            _atomic_write_text(self.directory / self.POINTER, snap.name)
+            for old in self.snapshot_dirs()[self.keep:]:
+                shutil.rmtree(old, ignore_errors=True)
+                if self.counters is not None:
+                    self.counters.checkpoints_pruned += 1
+        if self.counters is not None:
+            self.counters.checkpoints_saved += 1
+        comm.barrier()
+        return snap
+
+    # -- coordinated verified restore -----------------------------------
+
+    def load_latest(self, ddns) -> pathlib.Path:
+        """Restore the newest snapshot every rank can verify, in place.
+
+        Layout or fingerprint mismatches raise :class:`ValueError` on all
+        ranks (they are configuration errors, not corruption); unreadable
+        or checksum-failing snapshots are skipped collectively.
+        """
+        from repro.core.velocity import recover_uw
+
+        comm = ddns.comm
+        names = comm.bcast(self._candidate_names() if comm.rank == 0 else None, root=0)
+        tried: list[str] = []
+        for name in names:
+            snap = self.directory / name
+            manifest = None
+            if comm.rank == 0:
+                try:
+                    manifest = json.loads((snap / "manifest.json").read_text())
+                except Exception as exc:  # noqa: BLE001 - skip unreadable snapshot
+                    tried.append(f"{name}: manifest unreadable ({exc})")
+            manifest = comm.bcast(manifest, root=0)
+            if manifest is None:
+                if self.counters is not None:
+                    self.counters.verify_failures += 1
+                continue
+            if (
+                manifest["nranks"] != comm.size
+                or manifest["pa"] != ddns.transforms.pa
+                or manifest["pb"] != ddns.transforms.pb
+            ):
+                raise ValueError(
+                    f"sharded checkpoint layout mismatch: file has "
+                    f"{manifest['nranks']} ranks as {manifest['pa']}x{manifest['pb']}, "
+                    f"run has {comm.size} ranks as "
+                    f"{ddns.transforms.pa}x{ddns.transforms.pb}"
+                )
+            _check_fingerprint(manifest["config"], ddns.config)
+            shard_path = snap / f"shard-r{comm.rank:04d}.npz"
+            shard = arrays = None
+            try:
+                shard, arrays = _read_npz(shard_path, verify=True)
+                ok = (
+                    shard["rank"] == comm.rank
+                    and shard["a"] == ddns.decomp.a
+                    and shard["b"] == ddns.decomp.b
+                    and shard["step_count"] == manifest["step_count"]
+                )
+            except Exception:  # noqa: BLE001 - collective skip below
+                ok = False
+            if not bool(comm.allreduce(int(ok), op=min)):
+                tried.append(f"{name}: shard verification failed")
+                if self.counters is not None:
+                    self.counters.verify_failures += 1
+                continue
+            state = ChannelState(
+                v=arrays["v"],
+                omega_y=arrays["omega_y"],
+                u00=arrays.get("u00"),
+                w00=arrays.get("w00"),
+                time=float(manifest["time"]),
+            )
+            state.u, state.w = recover_uw(
+                ddns.modes, ddns.stepper.ops, state.v, state.omega_y, state.u00, state.w00
+            )
+            ddns.state = state
+            ddns.step_count = int(manifest["step_count"])
+            runtime = manifest.get("runtime")
+            if runtime is not None:
+                ddns.stepper.set_dt(float(runtime["dt"]))
+                ddns.stepper.forcing = float(runtime["forcing"])
+            return snap
+        detail = "; ".join(tried) if tried else "no snapshots found"
+        raise CheckpointCorruptError(
+            f"no verifiable sharded checkpoint under {self.directory} ({detail})"
+        )

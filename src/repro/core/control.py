@@ -54,6 +54,16 @@ class CFLController:
             dns.stepper.set_dt(new_dt)
             self.adjustments += 1
 
+    def clamp_max_dt(self, dt: float) -> None:
+        """Lower the dt ceiling (graceful-degradation hook).
+
+        After the :class:`~repro.core.supervisor.RunSupervisor` reduces
+        dt on instability it clamps the controller too, so the next CFL
+        adjustment cannot immediately raise dt back above the degraded
+        value and re-trigger the blow-up.
+        """
+        self.max_dt = min(self.max_dt, float(dt))
+
 
 @dataclass
 class MassFluxController:

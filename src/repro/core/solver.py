@@ -136,12 +136,18 @@ class ChannelDNS:
         self.state = self.stepper.step(self.state)
         self.step_count += 1
 
+    def set_dt(self, dt: float) -> None:
+        """Change the timestep (refactors the implicit banded systems)."""
+        self.stepper.set_dt(dt)
+
     def run(self, nsteps: int, sample_every: int = 0, callback=None, controllers=()) -> None:
         """Advance ``nsteps``; optionally sample statistics every k steps.
 
         ``controllers`` are callables applied after every step (e.g.
         :class:`~repro.core.control.CFLController`,
-        :class:`~repro.core.control.MassFluxController`).
+        :class:`~repro.core.control.MassFluxController`, or a
+        :class:`~repro.core.health.HealthMonitor`, whose typed exceptions
+        propagate to the caller — the supervised run loop catches them).
         """
         for _ in range(nsteps):
             self.step()
@@ -187,6 +193,14 @@ class ChannelDNS:
 
     def cfl_number(self) -> float:
         return self.stepper.cfl_number()
+
+    def state_finite(self) -> bool:
+        """True when every prognostic array is finite (watchdog hook)."""
+        s = self._require_state()
+        for arr in (s.v, s.omega_y, s.u00, s.w00):
+            if arr is not None and not np.all(np.isfinite(arr)):
+                return False
+        return True
 
     def wall_shear_velocity(self) -> float:
         """Instantaneous friction velocity from the mean profile."""

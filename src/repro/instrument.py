@@ -17,6 +17,13 @@ solve engine (:mod:`repro.linalg.engine`): engine-owned workspace is
 counted once at construction and must stay frozen across steady-state
 solves, while the execution counters (solves, sweeps, columns) keep
 moving.
+
+:class:`RecoveryCounters` is the fault-tolerance bookkeeping shared by
+the checkpoint rotations (:mod:`repro.core.checkpoint`) and the run
+supervisor (:mod:`repro.core.supervisor`): snapshots saved/pruned,
+verification failures, watchdog trips, rollbacks, restarts and dt
+reductions.  Together with the ``CHECKPOINT``/``RECOVERY`` timer
+sections this is how a campaign's recovery history is surfaced.
 """
 
 from __future__ import annotations
@@ -41,6 +48,10 @@ class SectionTimers:
     NONLINEAR = "nonlinear_products"
     REORDER = "reorder"
     SOLVE = "solve"
+    #: fault-tolerance sections: checkpoint writes and rollback/restart
+    #: work of the run supervisor (disjoint from the per-step sections)
+    CHECKPOINT = "checkpoint"
+    RECOVERY = "recovery"
 
     #: sections nested inside another section (not added to the total)
     NESTED = frozenset({SOLVE})
@@ -178,4 +189,48 @@ class SolveCounters:
         return (
             f"workspace={self.workspace_bytes}B/{self.workspace_allocs} allocs  "
             f"solves={self.solves}  sweeps={self.sweeps}  columns={self.columns}"
+        )
+
+
+class RecoveryCounters:
+    """Checkpoint / recovery bookkeeping of the fault-tolerant harness.
+
+    ``checkpoints_saved``/``checkpoints_pruned`` move with the rotation,
+    ``verify_failures`` counts snapshots rejected by checksum or manifest
+    verification, ``failures`` counts watchdog/collective trips the
+    supervisor caught, ``rollbacks`` successful restores, ``restarts``
+    job-level relaunches of an SPMD program, and ``dt_reductions`` the
+    graceful-degradation steps taken after instability.
+    """
+
+    def __init__(self) -> None:
+        self.checkpoints_saved = 0
+        self.checkpoints_pruned = 0
+        self.verify_failures = 0
+        self.failures = 0
+        self.rollbacks = 0
+        self.restarts = 0
+        self.dt_reductions = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "checkpoints_saved": self.checkpoints_saved,
+            "checkpoints_pruned": self.checkpoints_pruned,
+            "verify_failures": self.verify_failures,
+            "failures": self.failures,
+            "rollbacks": self.rollbacks,
+            "restarts": self.restarts,
+            "dt_reductions": self.dt_reductions,
+        }
+
+    def report(self) -> str:
+        return (
+            f"checkpoints={self.checkpoints_saved} saved/{self.checkpoints_pruned} pruned  "
+            f"verify_failures={self.verify_failures}  failures={self.failures}  "
+            f"rollbacks={self.rollbacks}  restarts={self.restarts}  "
+            f"dt_reductions={self.dt_reductions}"
         )

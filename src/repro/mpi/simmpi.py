@@ -1,17 +1,28 @@
-"""Thread-backed MPI subset: communicators, collectives, topologies.
+"""Thread-backed MPI subset: communicators, collectives, topologies, faults.
 
 Every communicator owns a :class:`_Context` shared by its member
 threads: a reusable barrier, an exchange board for collectives, and
 point-to-point queues.  Collectives follow the deposit / barrier /
 collect / barrier discipline so a board slot is never overwritten before
-every member has read it.  If any rank raises, the barrier is aborted and
-every other rank re-raises a :class:`SimMPIError` instead of deadlocking.
+every member has read it.
+
+Failure semantics are hardened for the fault-tolerant run harness: the
+first failure on a communicator is *recorded* (which world rank, inside
+which operation, with what error) before the barrier is aborted, so
+every surviving rank raises a :class:`SimMPIError` that names the
+culprit instead of deadlocking or guessing.  A seeded
+:class:`FaultPlan` can be attached to :func:`run_spmd` to deterministically
+kill a rank at the N-th collective, corrupt or drop a payload, or delay
+a deposit — the failure modes a 786K-core machine serves up routinely —
+and the plan follows communicator splits so faults fire inside the
+pencil transpose sub-communicators too.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -19,7 +30,140 @@ import numpy as np
 
 
 class SimMPIError(RuntimeError):
-    """A collective failed (usually because a peer rank raised)."""
+    """A collective failed (usually because a peer rank raised).
+
+    ``rank`` is the world rank of the first recorded failure (None when
+    unknown) and ``op`` the operation *this* rank was in when it found out.
+    """
+
+    def __init__(self, message: str, rank: int | None = None, op: str | None = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.op = op
+
+
+class RankFailure(RuntimeError):
+    """A rank was killed by a :class:`FaultPlan` (simulated node death)."""
+
+    def __init__(self, rank: int, op: str, call: int) -> None:
+        super().__init__(f"rank {rank} killed by fault plan during {op!r} (call {call})")
+        self.rank = rank
+        self.op = op
+        self.call = call
+
+
+class _DroppedPayload:
+    """Board marker left where a faulted rank's payload should have been."""
+
+    __slots__ = ("rank", "op")
+
+    def __init__(self, rank: int, op: str) -> None:
+        self.rank = rank
+        self.op = op
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<dropped payload of rank {self.rank} in {self.op!r}>"
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+
+_FAULT_ACTIONS = ("kill", "corrupt", "drop", "delay")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault: ``action`` on ``rank``'s ``call``-th matching op.
+
+    ``op`` filters by operation name (``"alltoall"``, ``"bcast"``,
+    ``"barrier"``, ``"send"``, ...); ``None`` matches any.  ``call``
+    counts that rank's matching calls from zero, so the same plan always
+    fires at the same point of a deterministic program.
+    """
+
+    action: str
+    rank: int
+    op: str | None = None
+    call: int = 0
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.action not in _FAULT_ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; use {_FAULT_ACTIONS}")
+        if self.call < 0:
+            raise ValueError("call index must be >= 0")
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of :class:`FaultEvent`\\ s.
+
+    Attached to :func:`run_spmd` (and propagated into split
+    sub-communicators), the plan watches every operation; when an event's
+    victim rank reaches the event's matching-call index the fault fires:
+
+    * ``kill`` — raise :class:`RankFailure` in the victim (peers then get
+      :class:`SimMPIError` through the hardened abort path),
+    * ``corrupt`` — flip one seeded byte of the victim's payload copy,
+    * ``drop`` — replace the payload with a marker every receiver turns
+      into a :class:`SimMPIError` naming the culprit,
+    * ``delay`` — sleep ``delay`` seconds before depositing.
+
+    ``triggered`` records every fired event for assertions.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent], seed: int = 0) -> None:
+        self.events = tuple(events)
+        self.seed = int(seed)
+        self._counts = [0] * len(self.events)
+        self._lock = threading.Lock()
+        self.triggered: list[dict] = []
+
+    def apply(self, world_rank: int, op: str, payload: Any) -> Any:
+        """Run the plan for one operation; returns the (possibly faulted) payload."""
+        fired: list[tuple[int, FaultEvent]] = []
+        with self._lock:
+            for i, e in enumerate(self.events):
+                if e.rank != world_rank or (e.op is not None and e.op != op):
+                    continue
+                seen = self._counts[i]
+                self._counts[i] = seen + 1
+                if seen == e.call:
+                    fired.append((i, e))
+                    self.triggered.append(
+                        {"action": e.action, "rank": world_rank, "op": op, "call": seen}
+                    )
+        for i, e in fired:
+            if e.action == "kill":
+                raise RankFailure(world_rank, op, e.call)
+            if e.action == "delay":
+                time.sleep(e.delay)
+            elif e.action == "drop":
+                payload = _DroppedPayload(world_rank, op)
+            elif e.action == "corrupt":
+                rng = np.random.default_rng([self.seed, world_rank, i])
+                payload = _corrupt_payload(payload, rng)
+        return payload
+
+
+def _flip_byte(arr: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    out = np.array(arr, copy=True)
+    view = out.reshape(-1).view(np.uint8)
+    if view.size:
+        view[int(rng.integers(view.size))] ^= 0xFF
+    return out
+
+
+def _corrupt_payload(payload: Any, rng: np.random.Generator) -> Any:
+    if isinstance(payload, np.ndarray):
+        return _flip_byte(payload, rng)
+    if isinstance(payload, (list, tuple)):
+        out = list(payload)
+        for i, item in enumerate(out):
+            if isinstance(item, np.ndarray) and item.size:
+                out[i] = _flip_byte(item, rng)
+                return tuple(out) if isinstance(payload, tuple) else out
+    return payload
 
 
 @dataclass
@@ -49,18 +193,75 @@ def _payload_bytes(payload: Any) -> int:
     return 0
 
 
+class _FailureDomain:
+    """Failure state shared by *every* context of one SPMD program.
+
+    A rank can die while its peers wait on a sub-communicator barrier
+    (the pencil transposes run on cart_sub splits), so aborting only the
+    context where the failure surfaced would deadlock the rest.  All
+    contexts derived from one root register their barriers here; the
+    first failure is recorded once and every registered barrier is
+    broken, so every surviving rank raises within a bounded time no
+    matter which communicator it is blocked on.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.error = threading.Event()
+        self.failure: tuple[int | None, str, str] | None = None
+        self._barriers: list[threading.Barrier] = []
+
+    def register(self, barrier: threading.Barrier) -> None:
+        with self.lock:
+            self._barriers.append(barrier)
+
+    def fail(self, world_rank: int | None, op: str, exc: BaseException) -> None:
+        with self.lock:
+            if self.failure is None:
+                self.failure = (world_rank, op, f"{type(exc).__name__}: {exc}")
+            barriers = list(self._barriers)
+        self.error.set()
+        for b in barriers:
+            b.abort()
+
+    def abort(self) -> None:
+        with self.lock:
+            barriers = list(self._barriers)
+        self.error.set()
+        for b in barriers:
+            b.abort()
+
+    def peer_error(self, op: str) -> SimMPIError:
+        with self.lock:
+            failure = self.failure
+        if failure is None:
+            return SimMPIError(f"collective {op!r} aborted: a peer rank failed", op=op)
+        fr, fop, fmsg = failure
+        return SimMPIError(
+            f"collective {op!r} aborted: rank {fr} failed during {fop!r} ({fmsg})",
+            rank=fr,
+            op=op,
+        )
+
+
 class _Context:
     """Shared state of one communicator (one instance per comm, not per rank)."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, domain: _FailureDomain | None = None) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
         self.board: list[Any] = [None] * size
         self.lock = threading.Lock()
-        self.error = threading.Event()
+        self.domain = domain if domain is not None else _FailureDomain()
+        self.domain.register(self.barrier)
+        self.fault_plan: FaultPlan | None = None
         self.queues: dict[tuple[int, int, int], queue.Queue] = {}
         self.stats = MessageStats()
         self._scratch: dict[str, Any] = {}
+
+    @property
+    def error(self) -> threading.Event:
+        return self.domain.error
 
     def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -69,17 +270,21 @@ class _Context:
                 self.queues[key] = queue.Queue()
             return self.queues[key]
 
-    def sync(self) -> None:
-        if self.error.is_set():
-            raise SimMPIError("a peer rank failed")
+    def sync(self, op: str = "collective") -> None:
+        if self.domain.error.is_set():
+            raise self.domain.peer_error(op)
         try:
             self.barrier.wait()
         except threading.BrokenBarrierError as exc:
-            raise SimMPIError("a peer rank failed during a collective") from exc
+            raise self.domain.peer_error(op) from exc
+
+    def fail(self, world_rank: int | None, op: str, exc: BaseException) -> None:
+        """Record the first failure (who, where, what), then break every
+        barrier of the program so no rank stays blocked."""
+        self.domain.fail(world_rank, op, exc)
 
     def abort(self) -> None:
-        self.error.set()
-        self.barrier.abort()
+        self.domain.abort()
 
 
 class Communicator:
@@ -101,34 +306,57 @@ class Communicator:
         return self._ctx.stats
 
     # ------------------------------------------------------------------
+    # fault-injection plumbing
+    # ------------------------------------------------------------------
+
+    def _inject(self, op: str, payload: Any) -> Any:
+        plan = self._ctx.fault_plan
+        if plan is None:
+            return payload
+        return plan.apply(self.world_ranks[self.rank], op, payload)
+
+    def _check_dropped(self, payload: Any, op: str) -> None:
+        if isinstance(payload, _DroppedPayload):
+            raise SimMPIError(
+                f"rank {payload.rank} dropped its {payload.op!r} payload "
+                f"(detected in {op!r})",
+                rank=payload.rank,
+                op=op,
+            )
+
+    # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
 
     def barrier(self) -> None:
-        self._ctx.sync()
+        self._inject("barrier", None)
+        self._ctx.sync("barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         ctx = self._ctx
         if self.rank == root:
-            ctx.board[root] = obj
-        ctx.sync()
+            ctx.board[root] = self._inject("bcast", obj)
+        ctx.sync("bcast")
         out = ctx.board[root]
+        self._check_dropped(out, "bcast")
         if self.rank != root:
             ctx.stats.record(out)
-        ctx.sync()
+        ctx.sync("bcast")
         return out
 
-    def allgather(self, obj: Any) -> list[Any]:
+    def allgather(self, obj: Any, _op: str = "allgather") -> list[Any]:
         ctx = self._ctx
-        ctx.board[self.rank] = obj
-        ctx.sync()
+        ctx.board[self.rank] = self._inject(_op, obj)
+        ctx.sync(_op)
         out = list(ctx.board)
+        for entry in out:
+            self._check_dropped(entry, _op)
         ctx.stats.record([o for i, o in enumerate(out) if i != self.rank])
-        ctx.sync()
+        ctx.sync(_op)
         return out
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        out = self.allgather(obj)
+        out = self.allgather(obj, _op="gather")
         return out if self.rank == root else None
 
     def alltoall(self, chunks: Sequence[Any]) -> list[Any]:
@@ -140,15 +368,17 @@ class Communicator:
         ctx = self._ctx
         if len(chunks) != self.size:
             raise ValueError(f"need {self.size} chunks, got {len(chunks)}")
-        ctx.board[self.rank] = chunks
-        ctx.sync()
+        ctx.board[self.rank] = self._inject("alltoall", chunks)
+        ctx.sync("alltoall")
+        for src in range(self.size):
+            self._check_dropped(ctx.board[src], "alltoall")
         received = [ctx.board[src][self.rank] for src in range(self.size)]
         ctx.stats.record([c for d, c in enumerate(chunks) if d != self.rank])
-        ctx.sync()
+        ctx.sync("alltoall")
         return received
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
-        vals = self.allgather(value)
+        vals = self.allgather(value, _op="allreduce")
         if op is None:
             out = vals[0]
             for v in vals[1:]:
@@ -168,15 +398,22 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        obj = self._inject("send", obj)
         self._ctx.queue_for(self.rank, dest, tag).put(obj)
         self._ctx.stats.record(obj)
 
     def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
         try:
-            return self._ctx.queue_for(source, self.rank, tag).get(timeout=timeout)
+            got = self._ctx.queue_for(source, self.rank, tag).get(timeout=timeout)
         except queue.Empty as exc:
-            self._ctx.abort()
-            raise SimMPIError(f"recv from {source} timed out") from exc
+            self._ctx.fail(self.world_ranks[self.rank], "recv", exc)
+            raise SimMPIError(
+                f"recv from {source} timed out",
+                rank=self.world_ranks[source],
+                op="recv",
+            ) from exc
+        self._check_dropped(got, "recv")
+        return got
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
@@ -191,9 +428,9 @@ class Communicator:
         ctx = self._ctx
         key = self.rank if key is None else key
         ctx.board[self.rank] = (color, key)
-        ctx.sync()
+        ctx.sync("split")
         entries = list(ctx.board)  # [(color, key)] indexed by rank
-        ctx.sync()
+        ctx.sync("split")
         members = sorted(
             (r for r in range(self.size) if entries[r][0] == color),
             key=lambda r: (entries[r][1], r),
@@ -204,9 +441,15 @@ class Communicator:
             gen = ctx._scratch.setdefault("split_gen", [0])[0]
             key2 = (gen, color)
             if key2 not in store:
-                store[key2] = _Context(len(members))
+                # the sub-context joins the parent's failure domain and
+                # keeps its fault plan: faults must keep firing — and
+                # aborts must keep propagating — inside sub-communicators
+                # (the pencil transposes run on cart_sub splits)
+                sub = _Context(len(members), domain=ctx.domain)
+                sub.fault_plan = ctx.fault_plan
+                store[key2] = sub
             sub_ctx = store[key2]
-        ctx.sync()
+        ctx.sync("split")
         if self.rank == 0:
             with ctx.lock:
                 ctx._scratch["split_gen"][0] += 1
@@ -249,13 +492,23 @@ class CartesianCommunicator(Communicator):
         return self.split(color, key)
 
 
-def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any, timeout: float = 120.0) -> list[Any]:
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+    fault_plan: FaultPlan | None = None,
+) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks; gather returns.
 
-    Exceptions in any rank abort the whole program and re-raise the first
-    failure in the caller.
+    Exceptions in any rank abort the whole program (surviving ranks raise
+    :class:`SimMPIError` carrying the failed rank and operation) and
+    re-raise the first root-cause failure in the caller.  An optional
+    ``fault_plan`` injects deterministic rank kills, payload corruption,
+    drops or delays.
     """
     ctx = _Context(nranks)
+    ctx.fault_plan = fault_plan
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
 
@@ -265,7 +518,15 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any, timeout: float = 1
             results[rank] = fn(comm, *args)
         except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
             errors[rank] = exc
-            ctx.abort()
+            # when the exception already names a culprit rank (a detected
+            # drop, a RankFailure), record *that* rank as the failure's
+            # origin, not the rank that happened to notice first
+            culprit = getattr(exc, "rank", None)
+            ctx.fail(
+                culprit if culprit is not None else rank,
+                getattr(exc, "op", None) or "program",
+                exc,
+            )
 
     threads = [threading.Thread(target=worker, args=(r,), daemon=True) for r in range(nranks)]
     for t in threads:

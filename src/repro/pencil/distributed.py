@@ -13,6 +13,8 @@ round-off); ``tests/pencil/test_distributed.py`` pins that.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Sequence
+
 import numpy as np
 
 from repro.core.grid import ChannelGrid
@@ -132,9 +134,14 @@ class DistributedChannelDNS:
         self.state = self.stepper.step(self.state)
         self.step_count += 1
 
-    def run(self, nsteps: int) -> None:
+    def run(self, nsteps: int, controllers=()) -> None:
+        """Advance ``nsteps``; ``controllers`` follow the serial protocol
+        (e.g. a :class:`~repro.core.health.HealthMonitor` — its checks
+        reduce globally, so every rank trips together)."""
         for _ in range(nsteps):
             self.step()
+            for ctrl in controllers:
+                ctrl(self)
 
     # ------------------------------------------------------------------
 
@@ -180,3 +187,120 @@ class DistributedChannelDNS:
 
     def cfl_number(self) -> float:
         return self.stepper.cfl_number()
+
+    def set_dt(self, dt: float) -> None:
+        """Change the timestep (refactors the implicit banded systems)."""
+        self.stepper.set_dt(dt)
+
+    def state_finite(self) -> bool:
+        """Global finiteness of the prognostic arrays (watchdog hook)."""
+        s = self.state
+        if s is None:
+            raise RuntimeError("call initialize() first")
+        local = True
+        for arr in (s.v, s.omega_y, s.u00, s.w00):
+            if arr is not None and not np.all(np.isfinite(arr)):
+                local = False
+                break
+        return bool(self.comm.allreduce(int(local), op=min))
+
+    # ------------------------------------------------------------------
+    # sharded checkpointing
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, directory, keep: int = 3):
+        """Collectively write one sharded snapshot (one shard per rank)."""
+        from repro.core.checkpoint import ShardedCheckpointRotation
+
+        return ShardedCheckpointRotation(directory, keep=keep).save(self)
+
+    def load_checkpoint(self, directory):
+        """Restore the newest verifiable sharded snapshot, in place."""
+        from repro.core.checkpoint import ShardedCheckpointRotation
+
+        return ShardedCheckpointRotation(directory).load_latest(self)
+
+
+def run_supervised_spmd(
+    nranks: int,
+    config: ChannelConfig,
+    pa: int,
+    pb: int,
+    n_steps: int,
+    checkpoint_dir,
+    *,
+    checkpoint_every: int = 5,
+    keep: int = 3,
+    max_restarts: int = 3,
+    fault_plans: Sequence = (),
+    monitor_factory: Callable[[], Any] | None = None,
+    method: TransposeMethod | None = None,
+    timeout: float = 120.0,
+    counters=None,
+):
+    """Job-level supervised restart loop for the distributed DNS.
+
+    Launches the SPMD program; when a rank dies (injected
+    :class:`~repro.mpi.simmpi.RankFailure`, collective failure, or
+    watchdog trip) the whole job is torn down — exactly like a node
+    failure killing an MPI allocation — and relaunched, resuming from
+    the newest verifiable sharded snapshot under ``checkpoint_dir``.
+    Attempt ``i`` uses ``fault_plans[i]`` when provided (so tests inject
+    a fault on the first attempt and restart clean).  Returns
+    ``(final_full_state, recovery_log)``; the log holds
+    :class:`~repro.core.supervisor.RecoveryEvent` entries.
+
+    Because the sharded restore is bit-exact, the recovered trajectory is
+    bit-for-bit the uninterrupted one — pinned by
+    ``tests/pencil/test_checkpoint.py``.
+    """
+    from repro.core.checkpoint import ShardedCheckpointRotation
+    from repro.core.health import HealthCheckError
+    from repro.core.supervisor import RecoveryEvent
+    from repro.mpi.simmpi import RankFailure, SimMPIError, run_spmd
+
+    log: list[RecoveryEvent] = []
+
+    def _prog(comm: Communicator):
+        dns = DistributedChannelDNS(comm, config, pa=pa, pb=pb, method=method)
+        rotation = ShardedCheckpointRotation(checkpoint_dir, keep=keep, counters=counters)
+        # rank 0 decides restore-vs-initialize and broadcasts it: per-rank
+        # filesystem checks could race against rank 0 creating the first
+        # snapshot directory and leave ranks in different branches
+        resume = comm.bcast(
+            bool(rotation.snapshot_dirs()) if comm.rank == 0 else None, root=0
+        )
+        if resume:
+            rotation.load_latest(dns)
+        else:
+            dns.initialize()
+            rotation.save(dns)  # baseline: a restart must have a target
+        monitor = monitor_factory() if monitor_factory is not None else None
+        while dns.step_count < n_steps:
+            dns.step()
+            if monitor is not None:
+                monitor(dns)
+            if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
+                rotation.save(dns)
+        return dns.gather_state()
+
+    attempt = 0
+    while True:
+        plan = fault_plans[attempt] if attempt < len(fault_plans) else None
+        try:
+            results = run_spmd(nranks, _prog, timeout=timeout, fault_plan=plan)
+            return results[0], log
+        except (SimMPIError, RankFailure, HealthCheckError) as exc:
+            log.append(
+                RecoveryEvent(
+                    step=getattr(exc, "step", None) or -1,
+                    kind="restart",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    attempt=attempt,
+                )
+            )
+            if counters is not None:
+                counters.restarts += 1
+            attempt += 1
+            if attempt > max_restarts:
+                raise

@@ -1,0 +1,83 @@
+"""HealthMonitor watchdog tests: typed failures, cadence, thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig, ChannelDNS
+from repro.core.health import DivergedError, HealthCheckError, HealthMonitor, UnstableError
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dns():
+    d = ChannelDNS(CFG)
+    d.initialize()
+    d.run(2)
+    return d
+
+
+class TestHealthyTrajectory:
+    def test_passes_and_reports(self, dns):
+        monitor = HealthMonitor()
+        monitor(dns)
+        assert monitor.checks == 1
+        rep = monitor.last_report
+        assert rep["step"] == dns.step_count
+        assert rep["divergence"] <= monitor.max_divergence
+        assert np.isfinite(rep["cfl"])
+
+    def test_cadence_skips_off_steps(self, dns):
+        monitor = HealthMonitor(every=4)
+        monitor(dns)  # step_count == 2, not a multiple of 4
+        assert monitor.checks == 0
+        assert monitor.last_report == {}
+
+    def test_as_controller_in_run(self):
+        d = ChannelDNS(CFG)
+        d.initialize()
+        monitor = HealthMonitor(every=2)
+        d.run(4, controllers=[monitor])
+        assert monitor.checks == 2
+
+    def test_every_validated(self):
+        with pytest.raises(ValueError, match="every"):
+            HealthMonitor(every=0)
+
+
+class TestTypedFailures:
+    def test_nan_state_raises_diverged(self):
+        d = ChannelDNS(CFG)
+        d.initialize()
+        d.run(1)
+        d.state.v[0, 0, 0] = np.nan
+        with pytest.raises(DivergedError, match="non-finite"):
+            HealthMonitor()(d)
+
+    def test_divergence_threshold_raises_diverged(self, dns):
+        with pytest.raises(DivergedError, match="divergence"):
+            HealthMonitor(max_divergence=-1.0)(dns)
+
+    def test_cfl_threshold_raises_unstable(self, dns):
+        with pytest.raises(UnstableError, match="CFL"):
+            HealthMonitor(max_cfl=-1.0)(dns)
+
+    def test_exceptions_carry_step_and_share_base(self):
+        d = ChannelDNS(CFG)
+        d.initialize()
+        d.run(3)
+        d.state.omega_y[0, 0, 0] = np.inf
+        with pytest.raises(HealthCheckError) as info:
+            HealthMonitor()(d)
+        assert info.value.step == 3
+        assert isinstance(info.value, DivergedError)
+
+    def test_finite_check_can_be_disabled(self):
+        """With check_finite off, NaN state is caught by the divergence
+        check instead (`not nan <= x` is True) — never silently passed."""
+        d = ChannelDNS(CFG)
+        d.initialize()
+        d.run(1)
+        d.state.v[:] = np.nan
+        with pytest.raises(DivergedError, match="divergence"):
+            HealthMonitor(check_finite=False)(d)

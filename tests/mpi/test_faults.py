@@ -1,0 +1,221 @@
+"""Fault-injection tests: deterministic FaultPlan + hardened abort path.
+
+The contract under test: whatever a peer rank does — die, drop a
+payload, corrupt it, or stall — every *surviving* rank raises a typed
+:class:`SimMPIError` naming the culprit within a bounded time.  Nobody
+deadlocks, on the root communicator or on splits.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mpi.simmpi import (
+    FaultEvent,
+    FaultPlan,
+    RankFailure,
+    SimMPIError,
+    run_spmd,
+)
+
+#: generous wall-clock ceiling for "bounded time": far below run_spmd's
+#: default 120 s timeout, far above any healthy 4-rank program
+BOUNDED = 10.0
+
+
+def _run_expecting(plan, prog, nranks=4, exc_type=RankFailure):
+    t0 = time.perf_counter()
+    with pytest.raises(exc_type) as info:
+        run_spmd(nranks, prog, fault_plan=plan, timeout=60.0)
+    assert time.perf_counter() - t0 < BOUNDED
+    return info.value
+
+
+class TestFaultEventValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(action="explode", rank=0)
+
+    def test_negative_call_rejected(self):
+        with pytest.raises(ValueError, match="call index"):
+            FaultEvent(action="kill", rank=0, call=-1)
+
+
+class TestKill:
+    @pytest.mark.parametrize("op", ["barrier", "bcast", "allgather", "alltoall", "allreduce"])
+    def test_kill_in_each_collective_no_deadlock(self, op):
+        """Victim raises RankFailure; every survivor raises SimMPIError
+        naming the culprit rank — in bounded time, for every collective."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=2, op=op, call=1)])
+        survivors = []
+
+        def prog(comm):
+            for _ in range(4):
+                comm.barrier()
+                # root=2 so the victim is the rank that deposits the
+                # bcast payload (only the root injects in a bcast)
+                comm.bcast(comm.rank, root=2)
+                comm.allgather(comm.rank)
+                comm.alltoall([np.array([comm.rank])] * comm.size)
+                comm.allreduce(comm.rank)
+            return True
+
+        def wrapped(comm):
+            try:
+                return prog(comm)
+            except SimMPIError as exc:
+                survivors.append((comm.rank, exc))
+                raise
+
+        exc = _run_expecting(plan, wrapped)
+        assert exc.rank == 2 and exc.op == op
+        assert plan.triggered == [{"action": "kill", "rank": 2, "op": op, "call": 1}]
+        assert len(survivors) == 3
+        for rank, err in survivors:
+            assert rank != 2
+            assert err.rank == 2  # culprit named, not guessed
+            assert "rank 2" in str(err)
+
+    def test_kill_inside_split_subcommunicator(self):
+        """The plan follows splits and the abort crosses communicator
+        boundaries: ranks blocked on a *different* sub-communicator's
+        barrier must still be released."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=3, op="allreduce", call=0)])
+
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            for _ in range(3):
+                sub.allreduce(sub.rank)
+            return True
+
+        exc = _run_expecting(plan, prog)
+        assert exc.rank == 3 and exc.op == "allreduce"
+
+    def test_kill_counts_only_matching_ops(self):
+        """call indexes the victim's *matching* calls, so a plan pinned
+        to (op, call) fires at the same program point every run."""
+        order = []
+
+        def prog(comm):
+            comm.barrier()   # bcast call counter untouched
+            comm.bcast(0)    # bcast call 0
+            comm.barrier()
+            if comm.rank == 0:
+                order.append("reached")
+            comm.bcast(1)    # bcast call 1 -> boom
+            return True
+
+        plan = FaultPlan([FaultEvent(action="kill", rank=0, op="bcast", call=1)])
+        _run_expecting(plan, prog)
+        assert order == ["reached"]
+
+
+class TestDrop:
+    @pytest.mark.parametrize("op", ["bcast", "allgather", "alltoall"])
+    def test_dropped_payload_detected(self, op):
+        plan = FaultPlan([FaultEvent(action="drop", rank=1, op=op)])
+
+        def prog(comm):
+            if op == "bcast":
+                comm.bcast("x", root=1)
+            elif op == "allgather":
+                comm.allgather(comm.rank)
+            else:
+                comm.alltoall([np.array([comm.rank])] * comm.size)
+            return True
+
+        exc = _run_expecting(plan, prog, exc_type=SimMPIError)
+        assert exc.rank == 1
+        assert "dropped" in str(exc)
+
+    def test_dropped_send_detected_by_receiver(self):
+        plan = FaultPlan([FaultEvent(action="drop", rank=0, op="send")])
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+            return True
+
+        exc = _run_expecting(plan, prog, nranks=2, exc_type=SimMPIError)
+        assert "dropped" in str(exc)  # culprit surfaces in the chain
+
+
+class TestCorrupt:
+    def test_corruption_is_deterministic(self):
+        """Same seed -> same flipped byte; different seed -> (almost
+        surely) a different corruption.  Receivers see the flip."""
+
+        def prog(comm):
+            payload = np.zeros(64) if comm.rank == 1 else None
+            return comm.bcast(payload, root=1)
+
+        def corrupted_with(seed):
+            plan = FaultPlan(
+                [FaultEvent(action="corrupt", rank=1, op="bcast")], seed=seed
+            )
+            out = run_spmd(4, prog, fault_plan=plan)
+            for got in out[1:]:
+                np.testing.assert_array_equal(got, out[0])
+            return out[0]
+
+        a = corrupted_with(7)
+        b = corrupted_with(7)
+        c = corrupted_with(8)
+        assert np.count_nonzero(a) == 1  # exactly one flipped byte
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_corruption_of_alltoall_chunk(self):
+        plan = FaultPlan([FaultEvent(action="corrupt", rank=0, op="alltoall")])
+
+        def prog(comm):
+            got = comm.alltoall([np.zeros(16) for _ in range(comm.size)])
+            return sum(int(np.count_nonzero(g)) for g in got)
+
+        out = run_spmd(2, prog, fault_plan=plan)
+        assert sum(out) == 1  # one byte flipped somewhere in rank 0's chunks
+
+
+class TestDelay:
+    def test_delay_slows_but_preserves_results(self):
+        plan = FaultPlan([FaultEvent(action="delay", rank=2, op="allgather", delay=0.2)])
+
+        def prog(comm):
+            return comm.allgather(comm.rank)
+
+        t0 = time.perf_counter()
+        out = run_spmd(4, prog, fault_plan=plan)
+        assert time.perf_counter() - t0 >= 0.2
+        assert out == [[0, 1, 2, 3]] * 4
+
+
+class TestAbortHardening:
+    def test_non_collective_crash_releases_peers(self):
+        """A rank dying *outside* any collective (plain exception in user
+        code) must still release peers blocked in a barrier."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("segfault stand-in")
+            comm.barrier()
+            return True
+
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="segfault"):
+            run_spmd(3, prog, timeout=60.0)
+        assert time.perf_counter() - t0 < BOUNDED
+
+    def test_error_message_names_rank_and_op(self):
+        plan = FaultPlan([FaultEvent(action="kill", rank=0, op="barrier")])
+
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        exc = _run_expecting(plan, prog, nranks=2)
+        assert isinstance(exc, RankFailure)
+        assert exc.rank == 0 and exc.op == "barrier" and exc.call == 0

@@ -1,0 +1,219 @@
+"""Sharded checkpoint tests: coordinated write/restore, kill-restart identity.
+
+The distributed acceptance property: a 4-rank run whose rank 1 is killed
+mid-transpose and that is relaunched by the job-level supervisor lands
+bit-for-bit on the uninterrupted trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig
+from repro.core.checkpoint import CheckpointCorruptError, ShardedCheckpointRotation
+from repro.instrument import RecoveryCounters
+from repro.mpi.simmpi import FaultEvent, FaultPlan, run_spmd
+from repro.pencil.distributed import DistributedChannelDNS, run_supervised_spmd
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=8)
+
+
+def _flip_byte(path, offset_fraction=0.5):
+    data = bytearray(path.read_bytes())
+    data[int(len(data) * offset_fraction)] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def _uninterrupted_state(nsteps=10):
+    def prog(comm):
+        dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+        dns.initialize()
+        dns.run(nsteps)
+        return dns.gather_state()
+
+    return run_spmd(4, prog)[0]
+
+
+class TestShardedRoundTrip:
+    def test_save_load_is_bit_exact(self, tmp_path):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(3)
+            dns.save_checkpoint(tmp_path)
+
+            fresh = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            fresh.load_checkpoint(tmp_path)
+            assert fresh.step_count == 3
+            assert fresh.state.time == dns.state.time
+            np.testing.assert_array_equal(fresh.state.v, dns.state.v)
+            np.testing.assert_array_equal(fresh.state.omega_y, dns.state.omega_y)
+            fresh.run(2)
+            dns.run(2)
+            np.testing.assert_array_equal(fresh.state.v, dns.state.v)
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_layout_on_disk(self, tmp_path):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(2)
+            dns.save_checkpoint(tmp_path)
+            return True
+
+        run_spmd(4, prog)
+        snap = tmp_path / "step-000000002"
+        assert snap.is_dir()
+        assert (snap / "manifest.json").exists()
+        assert sorted(p.name for p in snap.glob("shard-*.npz")) == [
+            f"shard-r{r:04d}.npz" for r in range(4)
+        ]
+        assert (tmp_path / "latest").read_text().strip() == snap.name
+
+    def test_rotation_keeps_k_snapshots(self, tmp_path):
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            rot = ShardedCheckpointRotation(tmp_path, keep=2)
+            for _ in range(4):
+                dns.run(1)
+                rot.save(dns)
+            return True
+
+        run_spmd(4, prog)
+        rot = ShardedCheckpointRotation(tmp_path, keep=2)
+        assert [p.name for p in rot.snapshot_dirs()] == [
+            "step-000000004",
+            "step-000000003",
+        ]
+
+
+class TestCoordinatedFallback:
+    def test_corrupt_shard_falls_back_collectively(self, tmp_path):
+        """One flipped byte in one rank's shard must make ALL ranks skip
+        that snapshot together and restore the previous one."""
+
+        def save_two(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            rot = ShardedCheckpointRotation(tmp_path)
+            dns.run(2)
+            rot.save(dns)
+            dns.run(2)
+            rot.save(dns)
+            return True
+
+        run_spmd(4, save_two)
+        _flip_byte(tmp_path / "step-000000004" / "shard-r0002.npz")
+
+        counters = RecoveryCounters()
+
+        def restore(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            ShardedCheckpointRotation(tmp_path, counters=counters).load_latest(dns)
+            return dns.step_count
+
+        assert run_spmd(4, restore) == [2, 2, 2, 2]
+        assert counters.verify_failures >= 1
+
+    def test_all_snapshots_corrupt_raises_everywhere(self, tmp_path):
+        def save_one(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            dns.save_checkpoint(tmp_path)
+            return True
+
+        run_spmd(4, save_one)
+        for shard in (tmp_path / "step-000000001").glob("shard-*.npz"):
+            _flip_byte(shard)
+
+        def restore(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            with pytest.raises(CheckpointCorruptError, match="no verifiable"):
+                dns.load_checkpoint(tmp_path)
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(4, restore))
+
+    def test_layout_mismatch_rejected(self, tmp_path):
+        def save_4ranks(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            dns.save_checkpoint(tmp_path)
+            return True
+
+        run_spmd(4, save_4ranks)
+
+        def restore_2ranks(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=1, pb=2)
+            dns.load_checkpoint(tmp_path)
+
+        with pytest.raises(ValueError, match="layout mismatch"):
+            run_spmd(2, restore_2ranks)
+
+
+class TestKillRestartIdentity:
+    def test_killed_and_relaunched_run_matches_uninterrupted(self, tmp_path):
+        """THE distributed acceptance criterion: rank 1 is killed inside
+        a pencil-transpose alltoall mid-run; the job-level supervisor
+        relaunches from the sharded snapshot at step 5 and the final
+        state at step 10 is bit-for-bit the uninterrupted one."""
+        straight = _uninterrupted_state(10)
+
+        counters = RecoveryCounters()
+        plan = FaultPlan([FaultEvent(action="kill", rank=1, op="alltoall", call=150)])
+        final, log = run_supervised_spmd(
+            4,
+            CFG,
+            pa=2,
+            pb=2,
+            n_steps=10,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=5,
+            fault_plans=[plan],
+            counters=counters,
+        )
+
+        assert plan.triggered  # the kill really fired
+        assert [e.kind for e in log] == ["restart"]
+        assert "RankFailure" in log[0].detail
+        assert counters.restarts == 1
+        np.testing.assert_array_equal(final.v, straight.v)
+        np.testing.assert_array_equal(final.omega_y, straight.omega_y)
+        np.testing.assert_array_equal(final.u00, straight.u00)
+        assert final.time == straight.time
+
+    def test_unfaulted_supervised_run_needs_no_restart(self, tmp_path):
+        straight = _uninterrupted_state(6)
+        final, log = run_supervised_spmd(
+            4, CFG, pa=2, pb=2, n_steps=6, checkpoint_dir=tmp_path, checkpoint_every=3
+        )
+        assert log == []
+        np.testing.assert_array_equal(final.v, straight.v)
+
+    def test_gives_up_after_max_restarts(self, tmp_path):
+        """A kill that re-fires on every attempt exhausts the restart
+        budget and the last failure propagates to the caller."""
+        # the first alltoall fires after the baseline snapshot is durable,
+        # so every attempt restarts cleanly and dies again at step 1
+        plans = [
+            FaultPlan([FaultEvent(action="kill", rank=0, op="alltoall", call=0)])
+            for _ in range(3)
+        ]
+        with pytest.raises(Exception) as info:
+            run_supervised_spmd(
+                4,
+                CFG,
+                pa=2,
+                pb=2,
+                n_steps=4,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=2,
+                max_restarts=2,
+                fault_plans=plans,
+            )
+        assert "killed by fault plan" in str(info.value)

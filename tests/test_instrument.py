@@ -1,10 +1,10 @@
-"""SectionTimers / SolveCounters instrumentation tests."""
+"""SectionTimers / SolveCounters / RecoveryCounters instrumentation tests."""
 
 import time
 
 import numpy as np
 
-from repro.instrument import SectionTimers, SolveCounters
+from repro.instrument import RecoveryCounters, SectionTimers, SolveCounters
 
 
 class TestSectionTimers:
@@ -66,6 +66,19 @@ class TestSectionTimers:
         assert SectionTimers.FFT == "fft"
         assert SectionTimers.ADVANCE == "ns_advance"
         assert SectionTimers.SOLVE == "solve"
+        assert SectionTimers.CHECKPOINT == "checkpoint"
+        assert SectionTimers.RECOVERY == "recovery"
+
+    def test_recovery_sections_count_toward_total(self):
+        """CHECKPOINT/RECOVERY are disjoint from the per-step sections,
+        so they belong in the wall-clock total (unlike nested SOLVE)."""
+        t = SectionTimers()
+        with t.section(t.CHECKPOINT):
+            pass
+        with t.section(t.RECOVERY):
+            pass
+        assert t.CHECKPOINT not in t.NESTED and t.RECOVERY not in t.NESTED
+        assert t.total() == t.elapsed[t.CHECKPOINT] + t.elapsed[t.RECOVERY]
 
     def test_nested_sections_excluded_from_total(self):
         """SOLVE runs inside ADVANCE; summing both would double-count."""
@@ -99,3 +112,43 @@ class TestSolveCounters:
         assert "workspace=256B" in rep and "solves=2" in rep
         c.reset()
         assert c.snapshot()["workspace_bytes"] == 0
+
+
+class TestRecoveryCounters:
+    def test_counters_snapshot_report_reset(self):
+        c = RecoveryCounters()
+        c.checkpoints_saved += 4
+        c.checkpoints_pruned += 1
+        c.verify_failures += 2
+        c.failures += 3
+        c.rollbacks += 2
+        c.restarts += 1
+        c.dt_reductions += 1
+        assert c.snapshot() == {
+            "checkpoints_saved": 4,
+            "checkpoints_pruned": 1,
+            "verify_failures": 2,
+            "failures": 3,
+            "rollbacks": 2,
+            "restarts": 1,
+            "dt_reductions": 1,
+        }
+        rep = c.report()
+        assert "checkpoints=4 saved/1 pruned" in rep
+        assert "verify_failures=2" in rep and "rollbacks=2" in rep
+        c.reset()
+        assert all(v == 0 for v in c.snapshot().values())
+
+    def test_rotation_moves_save_and_prune_counters(self, tmp_path):
+        from repro.core import ChannelConfig, ChannelDNS
+        from repro.core.checkpoint import CheckpointRotation
+
+        dns = ChannelDNS(ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, seed=3))
+        dns.initialize()
+        c = RecoveryCounters()
+        rot = CheckpointRotation(tmp_path, keep=2, counters=c)
+        for _ in range(3):
+            dns.run(1)
+            rot.save(dns)
+        assert c.checkpoints_saved == 3
+        assert c.checkpoints_pruned == 1
