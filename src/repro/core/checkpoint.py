@@ -22,8 +22,14 @@ module therefore treats durability as part of the format:
 * **Sharded parallel snapshots** — :class:`ShardedCheckpointRotation`
   saves one shard per SimMPI rank (each rank's own y-pencil block) plus
   a rank-0 ``manifest.json``, with a coordinated consistency check on
-  load; all restore decisions derive from ``bcast``/``allreduce`` so
+  load; all restore decisions derive from ``bcast``/``allgather`` so
   every rank takes the same branch and the loader cannot deadlock.
+* **Decomposition-agnostic restore** — every shard records the global
+  spectral index ranges of its block, so a snapshot written on one
+  ``A x B`` grid can be reassembled onto any other (``load_latest``
+  with ``reshard=True``, or :meth:`ShardedCheckpointRotation.load_serial`
+  for the ``1 x 1`` case) by reading just the overlapping shards — the
+  restore path of the elastic shrink-and-continue supervisor.
 
 Restart is *exact*: the RK3 scheme's cross-step memory (the
 zeta-weighted previous nonlinear term) is only used within a step
@@ -506,13 +512,20 @@ class ShardedCheckpointRotation:
         if comm.rank == 0:
             snap.mkdir(parents=True, exist_ok=True)
         comm.barrier()
+        d = ddns.decomp
         shard_manifest = {
             "format_version": FORMAT_VERSION,
             "format_history": list(FORMAT_HISTORY),
             "kind": "shard",
             "rank": comm.rank,
-            "a": ddns.decomp.a,
-            "b": ddns.decomp.b,
+            "a": d.a,
+            "b": d.b,
+            "pa": d.pa,
+            "pb": d.pb,
+            # global spectral index ranges of this shard's block — what
+            # makes the snapshot decomposition-agnostic on restore
+            "x_range": [d.x_slice.start, d.x_slice.stop],
+            "z_range": [d.z_spec_slice.start, d.z_spec_slice.stop],
             "owns_mean": bool(ddns.modes.owns_mean),
             "time": float(state.time),
             "step_count": int(ddns.step_count),
@@ -533,6 +546,9 @@ class ShardedCheckpointRotation:
                 "nranks": comm.size,
                 "pa": ddns.transforms.pa,
                 "pb": ddns.transforms.pb,
+                "mx": int(ddns.transforms.mx),
+                "mz": int(ddns.transforms.mz),
+                "ny": int(ddns.decomp.ny),
                 "config": _config_fingerprint(ddns.config),
                 "runtime": {
                     "dt": float(ddns.stepper.dt),
@@ -555,12 +571,20 @@ class ShardedCheckpointRotation:
 
     # -- coordinated verified restore -----------------------------------
 
-    def load_latest(self, ddns) -> pathlib.Path:
+    def load_latest(self, ddns, *, reshard: bool = False) -> pathlib.Path:
         """Restore the newest snapshot every rank can verify, in place.
 
-        Layout or fingerprint mismatches raise :class:`ValueError` on all
-        ranks (they are configuration errors, not corruption); unreadable
-        or checksum-failing snapshots are skipped collectively.
+        With ``reshard=False`` (the default) the snapshot's ``a x b``
+        layout must match the running decomposition; a mismatch raises
+        :class:`ValueError` on all ranks — a configuration error, not
+        corruption.  With ``reshard=True`` the layout is free: each rank
+        reassembles its own spectral block from every old shard whose
+        global index range overlaps it (decomposition-agnostic restore,
+        used by the elastic supervisor after a shrink).  Either way,
+        every shard that is read is CRC-verified, shard failures are
+        reported with *which* rank/shard failed and why, and an
+        unverifiable snapshot is skipped by all ranks together so the
+        rotation falls back to the previous one.
         """
         from repro.core.velocity import recover_uw
 
@@ -569,22 +593,24 @@ class ShardedCheckpointRotation:
         tried: list[str] = []
         for name in names:
             snap = self.directory / name
-            manifest = None
+            payload = None
             if comm.rank == 0:
                 try:
-                    manifest = json.loads((snap / "manifest.json").read_text())
+                    payload = (json.loads((snap / "manifest.json").read_text()), None)
                 except Exception as exc:  # noqa: BLE001 - skip unreadable snapshot
-                    tried.append(f"{name}: manifest unreadable ({exc})")
-            manifest = comm.bcast(manifest, root=0)
+                    payload = (None, f"{name}: manifest unreadable ({exc})")
+            manifest, reason = comm.bcast(payload, root=0)
             if manifest is None:
+                tried.append(reason)
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
-            if (
-                manifest["nranks"] != comm.size
-                or manifest["pa"] != ddns.transforms.pa
-                or manifest["pb"] != ddns.transforms.pb
-            ):
+            same_layout = (
+                manifest["nranks"] == comm.size
+                and manifest["pa"] == ddns.transforms.pa
+                and manifest["pb"] == ddns.transforms.pb
+            )
+            if not same_layout and not reshard:
                 raise ValueError(
                     f"sharded checkpoint layout mismatch: file has "
                     f"{manifest['nranks']} ranks as {manifest['pa']}x{manifest['pb']}, "
@@ -592,30 +618,19 @@ class ShardedCheckpointRotation:
                     f"{ddns.transforms.pa}x{ddns.transforms.pb}"
                 )
             _check_fingerprint(manifest["config"], ddns.config)
-            shard_path = snap / f"shard-r{comm.rank:04d}.npz"
-            shard = arrays = None
-            try:
-                shard, arrays = _read_npz(shard_path, verify=True)
-                ok = (
-                    shard["rank"] == comm.rank
-                    and shard["a"] == ddns.decomp.a
-                    and shard["b"] == ddns.decomp.b
-                    and shard["step_count"] == manifest["step_count"]
-                )
-            except Exception:  # noqa: BLE001 - collective skip below
-                ok = False
-            if not bool(comm.allreduce(int(ok), op=min)):
-                tried.append(f"{name}: shard verification failed")
+            if same_layout:
+                ok, detail, state = self._load_own_shard(ddns, snap, manifest)
+            else:
+                ok, detail, state = self._load_resharded(ddns, snap, manifest)
+            # every rank learns every verdict, so the failure message can
+            # name exactly which shard broke and all ranks branch together
+            verdicts = comm.allgather((bool(ok), detail))
+            if not all(v for v, _ in verdicts):
+                fails = "; ".join(d for v, d in verdicts if not v and d)
+                tried.append(f"{name}: {fails}")
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
-            state = ChannelState(
-                v=arrays["v"],
-                omega_y=arrays["omega_y"],
-                u00=arrays.get("u00"),
-                w00=arrays.get("w00"),
-                time=float(manifest["time"]),
-            )
             state.u, state.w = recover_uw(
                 ddns.modes, ddns.stepper.ops, state.v, state.omega_y, state.u00, state.w00
             )
@@ -625,8 +640,200 @@ class ShardedCheckpointRotation:
             if runtime is not None:
                 ddns.stepper.set_dt(float(runtime["dt"]))
                 ddns.stepper.forcing = float(runtime["forcing"])
+            if not same_layout and self.counters is not None:
+                self.counters.reshard_restores += 1
             return snap
         detail = "; ".join(tried) if tried else "no snapshots found"
         raise CheckpointCorruptError(
             f"no verifiable sharded checkpoint under {self.directory} ({detail})"
         )
+
+    def _load_own_shard(self, ddns, snap, manifest):
+        """Same-layout fast path: read this rank's own shard, verified."""
+        rank = ddns.comm.rank
+        shard_name = f"shard-r{rank:04d}.npz"
+        try:
+            shard, arrays = _read_npz(snap / shard_name, verify=True)
+            _check_shard(shard, manifest, rank=rank, a=ddns.decomp.a, b=ddns.decomp.b)
+        except Exception as exc:  # noqa: BLE001 - reported, skipped collectively
+            return False, f"rank {rank}: shard {shard_name} failed verification ({exc})", None
+        state = ChannelState(
+            v=arrays["v"],
+            omega_y=arrays["omega_y"],
+            u00=arrays.get("u00"),
+            w00=arrays.get("w00"),
+            time=float(manifest["time"]),
+        )
+        return True, None, state
+
+    def _load_resharded(self, ddns, snap, manifest):
+        """Reassemble this rank's block from the overlapping old shards."""
+        rank = ddns.comm.rank
+        d = ddns.decomp
+        mx = int(manifest.get("mx", ddns.transforms.mx))
+        mz = int(manifest.get("mz", ddns.transforms.mz))
+        if (mx, mz) != (ddns.transforms.mx, ddns.transforms.mz):
+            return (
+                False,
+                f"rank {rank}: snapshot spectral extents {mx}x{mz} != "
+                f"run's {ddns.transforms.mx}x{ddns.transforms.mz}",
+                None,
+            )
+        try:
+            v, omega_y, u00, w00 = _assemble_block(
+                snap,
+                manifest,
+                mx,
+                mz,
+                d.x_slice,
+                d.z_spec_slice,
+                d.ny,
+                collect_mean=bool(ddns.modes.owns_mean),
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, skipped collectively
+            return False, f"rank {rank}: {exc}", None
+        state = ChannelState(
+            v=v, omega_y=omega_y, u00=u00, w00=w00, time=float(manifest["time"])
+        )
+        return True, None, state
+
+    # -- serial reassembly ----------------------------------------------
+
+    def load_serial(
+        self,
+        config: ChannelConfig | None = None,
+        *,
+        restore_runtime: bool | None = None,
+    ) -> ChannelDNS:
+        """Reassemble the newest verifiable sharded snapshot into a serial
+        :class:`ChannelDNS` (the ``1 x 1`` case of the resharding reader).
+
+        No communicator involved — this is how a campaign's sharded
+        snapshot is inspected or continued on a single process.
+        """
+        tried: list[str] = []
+        for name in self._candidate_names():
+            snap = self.directory / name
+            try:
+                manifest = json.loads((snap / "manifest.json").read_text())
+            except Exception as exc:  # noqa: BLE001 - fall back to older snapshot
+                tried.append(f"{name}: manifest unreadable ({exc})")
+                continue
+            stored = manifest["config"]
+            if restore_runtime is None:
+                restore_runtime = config is None
+            if config is None:
+                config = _config_from_fingerprint(stored)
+            else:
+                _check_fingerprint(stored, config)
+            mx = int(manifest.get("mx", config.nx // 2))
+            mz = int(manifest.get("mz", config.nz - 1))
+            try:
+                v, omega_y, u00, w00 = _assemble_block(
+                    snap,
+                    manifest,
+                    mx,
+                    mz,
+                    slice(0, mx),
+                    slice(0, mz),
+                    int(manifest.get("ny", config.ny)),
+                    collect_mean=True,
+                )
+            except Exception as exc:  # noqa: BLE001 - fall back to older snapshot
+                tried.append(f"{name}: {exc}")
+                if self.counters is not None:
+                    self.counters.verify_failures += 1
+                continue
+            state = ChannelState(
+                v=v, omega_y=omega_y, u00=u00, w00=w00, time=float(manifest["time"])
+            )
+            dns = ChannelDNS(config)
+            dns.initialize(state)
+            dns.step_count = int(manifest["step_count"])
+            runtime = manifest.get("runtime")
+            if restore_runtime and runtime is not None:
+                dns.stepper.set_dt(float(runtime["dt"]))
+                dns.stepper.forcing = float(runtime["forcing"])
+            if self.counters is not None:
+                self.counters.reshard_restores += 1
+            return dns
+        detail = "; ".join(tried) if tried else "no snapshots found"
+        raise CheckpointCorruptError(
+            f"no verifiable sharded checkpoint under {self.directory} ({detail})"
+        )
+
+
+def _check_shard(shard: dict, manifest: dict, *, rank=None, a=None, b=None) -> None:
+    """Consistency of one shard manifest against the snapshot manifest."""
+    if shard["step_count"] != manifest["step_count"]:
+        raise CheckpointCorruptError(
+            f"shard step {shard['step_count']} != manifest step "
+            f"{manifest['step_count']}"
+        )
+    for key, want in (("rank", rank), ("a", a), ("b", b)):
+        if want is not None and shard[key] != want:
+            raise CheckpointCorruptError(
+                f"shard records {key}={shard[key]}, expected {want}"
+            )
+
+
+def _assemble_block(
+    snap: pathlib.Path,
+    manifest: dict,
+    mx: int,
+    mz: int,
+    xs: slice,
+    zs: slice,
+    ny: int,
+    *,
+    collect_mean: bool,
+):
+    """Reassemble the ``(xs, zs)`` spectral block of a sharded snapshot.
+
+    Reads every shard whose global index range overlaps the requested
+    block, CRC-verifying each and checking its recorded ranges against
+    the decomposition rule.  Mean profiles come from the ``owns_mean``
+    shard, which always overlaps any block containing mode ``(0, 0)``.
+    Raises :class:`CheckpointCorruptError` naming the offending shard.
+    """
+    from repro.pencil.decomp import block_range
+
+    pa_old, pb_old = int(manifest["pa"]), int(manifest["pb"])
+    v = np.zeros((xs.stop - xs.start, zs.stop - zs.start, ny), complex)
+    omega_y = np.zeros_like(v)
+    u00 = w00 = None
+    for r in range(int(manifest["nranks"])):
+        a_old, b_old = divmod(r, pb_old)
+        ox0, ox1 = block_range(mx, pa_old, a_old)
+        oz0, oz1 = block_range(mz, pb_old, b_old)
+        gx0, gx1 = max(ox0, xs.start), min(ox1, xs.stop)
+        gz0, gz1 = max(oz0, zs.start), min(oz1, zs.stop)
+        if gx0 >= gx1 or gz0 >= gz1:
+            continue  # no overlap with the requested block
+        shard_name = f"shard-r{r:04d}.npz"
+        try:
+            shard, arrays = _read_npz(snap / shard_name, verify=True)
+            _check_shard(shard, manifest, rank=r, a=a_old, b=b_old)
+            for key, want in (("x_range", (ox0, ox1)), ("z_range", (oz0, oz1))):
+                got = shard.get(key)
+                if got is not None and tuple(got) != want:
+                    raise CheckpointCorruptError(
+                        f"shard records {key}={tuple(got)}, expected {want}"
+                    )
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"shard {shard_name} failed verification ({exc})"
+            ) from exc
+        v[gx0 - xs.start : gx1 - xs.start, gz0 - zs.start : gz1 - zs.start] = arrays[
+            "v"
+        ][gx0 - ox0 : gx1 - ox0, gz0 - oz0 : gz1 - oz0]
+        omega_y[gx0 - xs.start : gx1 - xs.start, gz0 - zs.start : gz1 - zs.start] = (
+            arrays["omega_y"][gx0 - ox0 : gx1 - ox0, gz0 - oz0 : gz1 - oz0]
+        )
+        if collect_mean and shard.get("owns_mean"):
+            u00, w00 = arrays["u00"], arrays["w00"]
+    if collect_mean and u00 is None:
+        raise CheckpointCorruptError(
+            "no overlapping shard carries the mean (u00/w00) profiles"
+        )
+    return v, omega_y, u00, w00

@@ -30,7 +30,7 @@ a :class:`~repro.instrument.RecoveryCounters`, and the typed
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.checkpoint import CheckpointCorruptError, CheckpointRotation
 from repro.core.health import DivergedError, HealthCheckError, UnstableError
@@ -78,9 +78,11 @@ class RecoveryEvent:
     """One entry of the supervisor's recovery log."""
 
     step: int
-    kind: str  # "failure" | "rollback" | "dt_reduction" | "restart" | "giving_up"
+    kind: str  # "failure" | "rollback" | "dt_reduction" | "restart" | "shrink" | "giving_up"
     detail: str
     attempt: int = 0
+    #: structured extras — e.g. a shrink records {"ranks", "pa", "pb"}
+    info: dict = field(default_factory=dict)
 
 
 class RunSupervisor:

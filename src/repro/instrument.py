@@ -52,6 +52,9 @@ class SectionTimers:
     #: work of the run supervisor (disjoint from the per-step sections)
     CHECKPOINT = "checkpoint"
     RECOVERY = "recovery"
+    #: elastic-recovery section: survivor re-planning and reshard restores
+    #: after a shrink (disjoint, like CHECKPOINT/RECOVERY)
+    ELASTIC = "elastic"
 
     #: sections nested inside another section (not added to the total)
     NESTED = frozenset({SOLVE})
@@ -200,7 +203,10 @@ class RecoveryCounters:
     verification, ``failures`` counts watchdog/collective trips the
     supervisor caught, ``rollbacks`` successful restores, ``restarts``
     job-level relaunches of an SPMD program, and ``dt_reductions`` the
-    graceful-degradation steps taken after instability.
+    graceful-degradation steps taken after instability.  The elastic
+    path adds ``shrinks`` (agreed survivor-set reductions after a rank
+    death) and ``reshard_restores`` (snapshots reassembled onto a
+    decomposition different from the one that wrote them).
     """
 
     def __init__(self) -> None:
@@ -211,6 +217,8 @@ class RecoveryCounters:
         self.rollbacks = 0
         self.restarts = 0
         self.dt_reductions = 0
+        self.shrinks = 0
+        self.reshard_restores = 0
 
     def reset(self) -> None:
         self.__init__()
@@ -225,6 +233,8 @@ class RecoveryCounters:
             "rollbacks": self.rollbacks,
             "restarts": self.restarts,
             "dt_reductions": self.dt_reductions,
+            "shrinks": self.shrinks,
+            "reshard_restores": self.reshard_restores,
         }
 
     def report(self) -> str:
@@ -232,5 +242,6 @@ class RecoveryCounters:
             f"checkpoints={self.checkpoints_saved} saved/{self.checkpoints_pruned} pruned  "
             f"verify_failures={self.verify_failures}  failures={self.failures}  "
             f"rollbacks={self.rollbacks}  restarts={self.restarts}  "
-            f"dt_reductions={self.dt_reductions}"
+            f"dt_reductions={self.dt_reductions}  shrinks={self.shrinks}  "
+            f"reshard_restores={self.reshard_restores}"
         )

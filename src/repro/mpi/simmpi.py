@@ -16,17 +16,63 @@ kill a rank at the N-th collective, corrupt or drop a payload, or delay
 a deposit — the failure modes a 786K-core machine serves up routinely —
 and the plan follows communicator splits so faults fire inside the
 pencil transpose sub-communicators too.
+
+Two opt-in layers extend that all-or-nothing contract for elastic
+degraded-mode recovery (ULFM-style shrink, cf. Diez, Peeters & Costa
+2025):
+
+* ``run_spmd(..., elastic=True)`` — when the *only* failures are rank
+  deaths, surviving ranks run a deterministic agreement round
+  (:meth:`_FailureDomain.agree_survivors`) instead of aborting blind:
+  every live rank checks in, the dead set is frozen into one decision,
+  and every survivor raises the same typed :class:`ShrinkRequired`
+  carrying the agreed survivor list so a supervisor can re-plan onto
+  ``P' = len(survivors)`` ranks and keep integrating.
+* ``run_spmd(..., integrity=True)`` — every deposited payload travels
+  inside a sender-side-checksummed envelope (checksummed *before* the
+  fault-injection point, exactly the window real network/application
+  CRCs cover), so an in-flight ``corrupt`` fault is *detected* by the
+  receiver and surfaces as a typed :class:`SimMPIError` naming the
+  culprit instead of silently poisoning the trajectory.
+
+All timeouts derive from one env-overridable default
+(``REPRO_SIMMPI_TIMEOUT``, :func:`default_timeout`): the ``recv``
+timeout uses it directly, the :func:`run_spmd` join timeout is
+``JOIN_TIMEOUT_FACTOR`` times it, and the agreement round waits at most
+one default before freezing a decision among the ranks that checked in.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
+
+#: base timeout in seconds: `recv` waits this long, the `run_spmd` join
+#: waits JOIN_TIMEOUT_FACTOR times it.  Override with REPRO_SIMMPI_TIMEOUT.
+DEFAULT_TIMEOUT = 30.0
+JOIN_TIMEOUT_FACTOR = 4.0
+
+
+def default_timeout() -> float:
+    """The single configurable SimMPI timeout default (env-overridable).
+
+    Soak runs under injected ``delay`` faults set ``REPRO_SIMMPI_TIMEOUT``
+    instead of hitting hardcoded 30 s cliffs scattered across the layer.
+    """
+    env = os.environ.get("REPRO_SIMMPI_TIMEOUT")
+    return float(env) if env else DEFAULT_TIMEOUT
+
+
+def default_join_timeout() -> float:
+    """Default join timeout of :func:`run_spmd` (one knob: the base default)."""
+    return JOIN_TIMEOUT_FACTOR * default_timeout()
 
 
 class SimMPIError(RuntimeError):
@@ -50,6 +96,64 @@ class RankFailure(RuntimeError):
         self.rank = rank
         self.op = op
         self.call = call
+
+
+class ShrinkRequired(RuntimeError):
+    """Survivor agreement concluded: the program can continue on fewer ranks.
+
+    Raised (instead of a fatal :class:`SimMPIError`) by every surviving
+    rank of an ``elastic`` SPMD program after a rank death, and re-raised
+    once by :func:`run_spmd` to its caller.  ``survivors`` is the agreed,
+    sorted world-rank list — identical on every rank, so a supervisor can
+    deterministically re-plan the decomposition for ``len(survivors)``.
+    """
+
+    def __init__(
+        self,
+        survivors: Sequence[int],
+        dead: Sequence[int],
+        op: str | None = None,
+    ) -> None:
+        survivors = tuple(int(r) for r in survivors)
+        dead = tuple(int(r) for r in dead)
+        super().__init__(
+            f"rank(s) {list(dead)} lost; {len(survivors)} survivors agreed "
+            f"to shrink: {list(survivors)}"
+        )
+        self.survivors = survivors
+        self.dead = dead
+        self.op = op
+
+
+class _CheckedPayload:
+    """Integrity envelope: a sender-side checksum traveling with the payload.
+
+    The checksum is computed *before* the fault-injection point, so an
+    in-flight corruption is detected by every receiver — the window a
+    real network/application CRC covers.
+    """
+
+    __slots__ = ("crc", "payload")
+
+    def __init__(self, crc: Any, payload: Any) -> None:
+        self.crc = crc
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<checked payload crc={self.crc!r}>"
+
+
+def _payload_crc(payload: Any) -> Any:
+    """CRC32 of an array payload; per-element tuple for chunk lists.
+
+    Non-array payloads (python scalars, strings, None) return None —
+    they are deposited by reference and cannot rot in flight here.
+    """
+    if isinstance(payload, np.ndarray):
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes()) & 0xFFFFFFFF
+    if isinstance(payload, (list, tuple)):
+        return tuple(_payload_crc(p) for p in payload)
+    return None
 
 
 class _DroppedPayload:
@@ -203,6 +307,14 @@ class _FailureDomain:
     first failure is recorded once and every registered barrier is
     broken, so every surviving rank raises within a bounded time no
     matter which communicator it is blocked on.
+
+    The domain also keeps the per-program failure census that elastic
+    mode turns into a shrink decision: world ranks known *dead* (killed
+    by a fault plan), ranks that failed some *other* way (a shrink would
+    be unsound — the state of the program is suspect, not just its
+    membership), and ranks that *completed* normally.  The agreement
+    round (:meth:`agree_survivors`) is a deterministic membership
+    protocol on top of that census.
     """
 
     def __init__(self) -> None:
@@ -210,19 +322,49 @@ class _FailureDomain:
         self.error = threading.Event()
         self.failure: tuple[int | None, str, str] | None = None
         self._barriers: list[threading.Barrier] = []
+        # elastic-recovery census (world ranks)
+        self.elastic = False
+        self.integrity = False
+        self.timeout = default_timeout()
+        self.all_ranks: frozenset[int] = frozenset()
+        self.dead: set[int] = set()
+        self.other_failed: set[int] = set()
+        self.completed: set[int] = set()
+        self._present: set[int] = set()
+        self._accounted = threading.Event()
+        self._decision: tuple[tuple[int, ...], tuple[int, ...]] | None = None
 
     def register(self, barrier: threading.Barrier) -> None:
         with self.lock:
             self._barriers.append(barrier)
 
+    def _check_accounted(self) -> None:
+        """Under ``self.lock``: wake the agreement once every rank is classed."""
+        known = self._present | self.dead | self.other_failed | self.completed
+        if self.all_ranks and known >= self.all_ranks:
+            self._accounted.set()
+
     def fail(self, world_rank: int | None, op: str, exc: BaseException) -> None:
         with self.lock:
             if self.failure is None:
                 self.failure = (world_rank, op, f"{type(exc).__name__}: {exc}")
+            if isinstance(exc, RankFailure):
+                self.dead.add(exc.rank)
+            elif not isinstance(exc, (SimMPIError, ShrinkRequired)):
+                # a consequence error (peer abort, agreed shrink) is not a
+                # new cause; anything else marks this rank genuinely failed
+                if world_rank is not None:
+                    self.other_failed.add(world_rank)
+            self._check_accounted()
             barriers = list(self._barriers)
         self.error.set()
         for b in barriers:
             b.abort()
+
+    def mark_completed(self, world_rank: int) -> None:
+        with self.lock:
+            self.completed.add(world_rank)
+            self._check_accounted()
 
     def abort(self) -> None:
         with self.lock:
@@ -231,7 +373,50 @@ class _FailureDomain:
         for b in barriers:
             b.abort()
 
-    def peer_error(self, op: str) -> SimMPIError:
+    # -- survivor agreement ---------------------------------------------
+
+    def shrinkable(self) -> bool:
+        """True when the only failures so far are rank deaths (elastic mode)."""
+        with self.lock:
+            return self.elastic and bool(self.dead) and not self.other_failed
+
+    def agree_survivors(self, world_rank: int, op: str) -> ShrinkRequired:
+        """Deterministic agreement round; returns this rank's ShrinkRequired.
+
+        Every surviving rank checks in and waits until all world ranks
+        are accounted for (present, dead, completed or otherwise failed),
+        then the *first* rank to conclude freezes the decision — the
+        sorted set of non-dead accounted ranks — and every later caller
+        returns that same frozen decision.  A rank that misses the
+        window (stuck past one default timeout) is treated as lost,
+        exactly like a real membership protocol would.
+        """
+        with self.lock:
+            self._present.add(world_rank)
+            self._check_accounted()
+        self._accounted.wait(timeout=self.timeout)
+        with self.lock:
+            if self._decision is None:
+                if self._accounted.is_set():
+                    survivors = sorted(self.all_ranks - self.dead - self.other_failed)
+                else:  # stragglers: agree among the ranks that checked in
+                    survivors = sorted(
+                        (self._present | self.completed) - self.dead - self.other_failed
+                    )
+                dead = sorted(self.all_ranks - set(survivors))
+                self._decision = (tuple(survivors), tuple(dead))
+            survivors, dead = self._decision
+        return ShrinkRequired(survivors, dead, op=op)
+
+    def peer_error(self, op: str, world_rank: int | None = None) -> RuntimeError:
+        """The typed error a rank observing a failure should raise.
+
+        In elastic mode, when the only recorded failures are rank deaths,
+        this runs the agreement round and returns :class:`ShrinkRequired`;
+        otherwise the classic culprit-naming :class:`SimMPIError`.
+        """
+        if world_rank is not None and self.shrinkable():
+            return self.agree_survivors(world_rank, op)
         with self.lock:
             failure = self.failure
         if failure is None:
@@ -270,13 +455,13 @@ class _Context:
                 self.queues[key] = queue.Queue()
             return self.queues[key]
 
-    def sync(self, op: str = "collective") -> None:
+    def sync(self, op: str = "collective", world_rank: int | None = None) -> None:
         if self.domain.error.is_set():
-            raise self.domain.peer_error(op)
+            raise self.domain.peer_error(op, world_rank)
         try:
             self.barrier.wait()
         except threading.BrokenBarrierError as exc:
-            raise self.domain.peer_error(op) from exc
+            raise self.domain.peer_error(op, world_rank) from exc
 
     def fail(self, world_rank: int | None, op: str, exc: BaseException) -> None:
         """Record the first failure (who, where, what), then break every
@@ -306,23 +491,59 @@ class Communicator:
         return self._ctx.stats
 
     # ------------------------------------------------------------------
-    # fault-injection plumbing
+    # fault-injection / integrity plumbing
     # ------------------------------------------------------------------
 
-    def _inject(self, op: str, payload: Any) -> Any:
-        plan = self._ctx.fault_plan
-        if plan is None:
-            return payload
-        return plan.apply(self.world_ranks[self.rank], op, payload)
+    @property
+    def _world_rank(self) -> int:
+        return self.world_ranks[self.rank]
 
-    def _check_dropped(self, payload: Any, op: str) -> None:
-        if isinstance(payload, _DroppedPayload):
+    def _sync(self, op: str) -> None:
+        self._ctx.sync(op, self._world_rank)
+
+    def _inject(self, op: str, payload: Any) -> Any:
+        """Deposit-side pipeline: checksum (optional), then fault-inject.
+
+        With integrity enabled the checksum is computed *before* the
+        fault fires, so in-flight corruption is detectable downstream.
+        """
+        integrity = self._ctx.domain.integrity
+        crc = _payload_crc(payload) if integrity else None
+        plan = self._ctx.fault_plan
+        if plan is not None:
+            payload = plan.apply(self._world_rank, op, payload)
+        if integrity:
+            return _CheckedPayload(crc, payload)
+        return payload
+
+    def _open(self, entry: Any, op: str, src: int, *, chunk: int | None = None) -> Any:
+        """Receive-side pipeline: unwrap, surface drops, verify checksums.
+
+        ``src`` is the local rank the entry came from; ``chunk`` selects
+        one element of a deposited chunk list (alltoall), verified
+        against its own per-chunk checksum.
+        """
+        crc = None
+        if isinstance(entry, _CheckedPayload):
+            crc, entry = entry.crc, entry.payload
+        if isinstance(entry, _DroppedPayload):
             raise SimMPIError(
-                f"rank {payload.rank} dropped its {payload.op!r} payload "
+                f"rank {entry.rank} dropped its {entry.op!r} payload "
                 f"(detected in {op!r})",
-                rank=payload.rank,
+                rank=entry.rank,
                 op=op,
             )
+        if chunk is not None:
+            crc = crc[chunk] if isinstance(crc, (list, tuple)) else None
+            entry = entry[chunk]
+        if crc is not None and _payload_crc(entry) != crc:
+            raise SimMPIError(
+                f"corrupt payload from rank {self.world_ranks[src]} detected "
+                f"in {op!r} (checksum mismatch)",
+                rank=self.world_ranks[src],
+                op=op,
+            )
+        return entry
 
     # ------------------------------------------------------------------
     # collectives
@@ -330,29 +551,26 @@ class Communicator:
 
     def barrier(self) -> None:
         self._inject("barrier", None)
-        self._ctx.sync("barrier")
+        self._sync("barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         ctx = self._ctx
         if self.rank == root:
             ctx.board[root] = self._inject("bcast", obj)
-        ctx.sync("bcast")
-        out = ctx.board[root]
-        self._check_dropped(out, "bcast")
+        self._sync("bcast")
+        out = self._open(ctx.board[root], "bcast", root)
         if self.rank != root:
             ctx.stats.record(out)
-        ctx.sync("bcast")
+        self._sync("bcast")
         return out
 
     def allgather(self, obj: Any, _op: str = "allgather") -> list[Any]:
         ctx = self._ctx
         ctx.board[self.rank] = self._inject(_op, obj)
-        ctx.sync(_op)
-        out = list(ctx.board)
-        for entry in out:
-            self._check_dropped(entry, _op)
+        self._sync(_op)
+        out = [self._open(entry, _op, src) for src, entry in enumerate(ctx.board)]
         ctx.stats.record([o for i, o in enumerate(out) if i != self.rank])
-        ctx.sync(_op)
+        self._sync(_op)
         return out
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
@@ -369,12 +587,13 @@ class Communicator:
         if len(chunks) != self.size:
             raise ValueError(f"need {self.size} chunks, got {len(chunks)}")
         ctx.board[self.rank] = self._inject("alltoall", chunks)
-        ctx.sync("alltoall")
-        for src in range(self.size):
-            self._check_dropped(ctx.board[src], "alltoall")
-        received = [ctx.board[src][self.rank] for src in range(self.size)]
+        self._sync("alltoall")
+        received = [
+            self._open(ctx.board[src], "alltoall", src, chunk=self.rank)
+            for src in range(self.size)
+        ]
         ctx.stats.record([c for d, c in enumerate(chunks) if d != self.rank])
-        ctx.sync("alltoall")
+        self._sync("alltoall")
         return received
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
@@ -398,22 +617,45 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        obj = self._inject("send", obj)
-        self._ctx.queue_for(self.rank, dest, tag).put(obj)
+        wire = self._inject("send", obj)
+        self._ctx.queue_for(self.rank, dest, tag).put(wire)
         self._ctx.stats.record(obj)
 
-    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
-        try:
-            got = self._ctx.queue_for(source, self.rank, tag).get(timeout=timeout)
-        except queue.Empty as exc:
-            self._ctx.fail(self.world_ranks[self.rank], "recv", exc)
-            raise SimMPIError(
-                f"recv from {source} timed out",
-                rank=self.world_ranks[source],
-                op="recv",
-            ) from exc
-        self._check_dropped(got, "recv")
-        return got
+    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+        """Receive from ``source``; default timeout is the context default.
+
+        The wait is abort-responsive: a peer failure recorded on the
+        failure domain releases a blocked receiver within one poll
+        interval instead of letting it sit out the whole timeout.
+        """
+        ctx = self._ctx
+        if timeout is None:
+            timeout = ctx.domain.timeout
+        q = ctx.queue_for(source, self.rank, tag)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                got = q.get_nowait()
+                break
+            except queue.Empty:
+                pass
+            if ctx.domain.error.is_set():
+                raise ctx.domain.peer_error("recv", self._world_rank)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                exc = TimeoutError(f"recv from {source} timed out after {timeout:g}s")
+                ctx.fail(self._world_rank, "recv", exc)
+                raise SimMPIError(
+                    f"recv from {source} timed out after {timeout:g}s",
+                    rank=self.world_ranks[source],
+                    op="recv",
+                ) from exc
+            try:
+                got = q.get(timeout=min(0.05, remaining))
+                break
+            except queue.Empty:
+                continue
+        return self._open(got, "recv", source)
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
@@ -428,9 +670,9 @@ class Communicator:
         ctx = self._ctx
         key = self.rank if key is None else key
         ctx.board[self.rank] = (color, key)
-        ctx.sync("split")
+        self._sync("split")
         entries = list(ctx.board)  # [(color, key)] indexed by rank
-        ctx.sync("split")
+        self._sync("split")
         members = sorted(
             (r for r in range(self.size) if entries[r][0] == color),
             key=lambda r: (entries[r][1], r),
@@ -449,7 +691,7 @@ class Communicator:
                 sub.fault_plan = ctx.fault_plan
                 store[key2] = sub
             sub_ctx = store[key2]
-        ctx.sync("split")
+        self._sync("split")
         if self.rank == 0:
             with ctx.lock:
                 ctx._scratch["split_gen"][0] += 1
@@ -496,8 +738,10 @@ def run_spmd(
     nranks: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = 120.0,
+    timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    elastic: bool = False,
+    integrity: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks; gather returns.
 
@@ -506,9 +750,22 @@ def run_spmd(
     re-raise the first root-cause failure in the caller.  An optional
     ``fault_plan`` injects deterministic rank kills, payload corruption,
     drops or delays.
+
+    ``timeout`` is the per-thread join ceiling; None means the
+    env-overridable default (:func:`default_join_timeout`).  With
+    ``elastic=True`` a pure rank-death failure ends in one agreed
+    :class:`ShrinkRequired` (carrying the survivor list) instead of the
+    victim's :class:`RankFailure`.  With ``integrity=True`` every payload
+    travels checksummed, so corruption is detected at the receiver.
     """
+    if timeout is None:
+        timeout = default_join_timeout()
     ctx = _Context(nranks)
     ctx.fault_plan = fault_plan
+    dom = ctx.domain
+    dom.elastic = elastic
+    dom.integrity = integrity
+    dom.all_ranks = frozenset(range(nranks))
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
 
@@ -516,6 +773,11 @@ def run_spmd(
         comm = Communicator(ctx, rank, range(nranks))
         try:
             results[rank] = fn(comm, *args)
+            dom.mark_completed(rank)
+        except ShrinkRequired as exc:
+            # an agreed shrink is an outcome, not a new failure: the
+            # domain is already aborted and the census already complete
+            errors[rank] = exc
         except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
             errors[rank] = exc
             # when the exception already names a culprit rank (a detected
@@ -536,6 +798,16 @@ def run_spmd(
         if t.is_alive():
             ctx.abort()
             raise SimMPIError("SPMD program timed out (deadlock?)")
+    # genuine program bugs outrank everything
+    for exc in errors:
+        if exc is not None and not isinstance(
+            exc, (SimMPIError, RankFailure, ShrinkRequired)
+        ):
+            raise exc
+    # an agreed shrink supersedes the kill that caused it
+    shrink = next((e for e in errors if isinstance(e, ShrinkRequired)), None)
+    if shrink is not None:
+        raise shrink
     for exc in errors:
         if exc is not None and not isinstance(exc, SimMPIError):
             raise exc

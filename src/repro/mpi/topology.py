@@ -87,6 +87,23 @@ class CommPattern:
         return self.pb <= cores_per_node and self.off_node_fraction("B", cores_per_node) == 0.0
 
 
+def factor_pairs(n: int) -> list[tuple[int, int]]:
+    """All ``(pa, pb)`` with ``pa * pb == n``, ordered by increasing ``pa``.
+
+    Every pair is a candidate process grid for ``n`` ranks; the elastic
+    supervisor filters them against the pencil-extent constraints and
+    picks the most-square survivor (:func:`repro.pencil.decomp.choose_grid`).
+    """
+    if n < 1:
+        raise ValueError(f"cannot factor {n} ranks")
+    pairs = []
+    for pa in range(1, n + 1):
+        pb, rem = divmod(n, pa)
+        if rem == 0:
+            pairs.append((pa, pb))
+    return pairs
+
+
 def comm_grid(nranks: int, pa: int, pb: int) -> CommPattern:
     """Construct (and validate) the CommA/CommB pattern of a process grid."""
     return CommPattern(nranks=nranks, pa=pa, pb=pb)

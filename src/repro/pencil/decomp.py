@@ -24,6 +24,36 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mpi.topology import factor_pairs
+
+
+def choose_grid(
+    nranks: int, mx: int, mz: int, ny: int, nzq: int | None = None
+) -> tuple[int, int]:
+    """Pick a valid ``(pa, pb)`` process grid for ``nranks`` ranks.
+
+    Candidates come from :func:`repro.mpi.topology.factor_pairs`, filtered
+    by the pencil-extent constraints (``mx >= pa``, ``mz >= pb``,
+    ``ny >= pb``, ``nzq >= pa``).  Among the valid grids the most-square
+    one wins; ties prefer the larger ``pb`` — CommB is the inner,
+    consecutive-rank communicator the paper keeps node-local (Table 5).
+    This is how the elastic supervisor re-plans the factorization after
+    shrinking to a survivor count that the original grid cannot express.
+    """
+    if nzq is None:
+        nzq = mz
+    valid = [
+        (pa, pb)
+        for pa, pb in factor_pairs(nranks)
+        if mx >= pa and mz >= pb and ny >= pb and nzq >= pa
+    ]
+    if not valid:
+        raise ValueError(
+            f"no valid (pa, pb) grid for {nranks} ranks with "
+            f"mx={mx}, mz={mz}, ny={ny}, nzq={nzq}"
+        )
+    return min(valid, key=lambda g: (abs(g[0] - g[1]), -g[1]))
+
 
 def block_range(n: int, p: int, i: int) -> tuple[int, int]:
     """Half-open index range of block ``i`` of ``n`` items over ``p`` parts."""

@@ -214,11 +214,14 @@ class DistributedChannelDNS:
 
         return ShardedCheckpointRotation(directory, keep=keep).save(self)
 
-    def load_checkpoint(self, directory):
-        """Restore the newest verifiable sharded snapshot, in place."""
+    def load_checkpoint(self, directory, reshard: bool = False):
+        """Restore the newest verifiable sharded snapshot, in place.
+
+        ``reshard=True`` accepts snapshots written under a different
+        process grid (decomposition-agnostic restore)."""
         from repro.core.checkpoint import ShardedCheckpointRotation
 
-        return ShardedCheckpointRotation(directory).load_latest(self)
+        return ShardedCheckpointRotation(directory).load_latest(self, reshard=reshard)
 
 
 def run_supervised_spmd(
@@ -235,8 +238,12 @@ def run_supervised_spmd(
     fault_plans: Sequence = (),
     monitor_factory: Callable[[], Any] | None = None,
     method: TransposeMethod | None = None,
-    timeout: float = 120.0,
+    timeout: float | None = None,
     counters=None,
+    elastic: bool = False,
+    integrity: bool = False,
+    min_ranks: int = 1,
+    timers: SectionTimers | None = None,
 ):
     """Job-level supervised restart loop for the distributed DNS.
 
@@ -250,46 +257,102 @@ def run_supervised_spmd(
     ``(final_full_state, recovery_log)``; the log holds
     :class:`~repro.core.supervisor.RecoveryEvent` entries.
 
+    With ``elastic=True`` a rank death instead surfaces as a
+    :class:`~repro.mpi.simmpi.ShrinkRequired` carrying the agreed
+    survivor list: the supervisor re-plans the process grid for
+    ``P' = len(survivors)`` via :func:`~repro.pencil.decomp.choose_grid`,
+    relaunches at the reduced size, and the program restores through the
+    resharding reader — the campaign *shrinks and continues* instead of
+    demanding its full allocation back.  Shrinks do not consume the
+    ``max_restarts`` budget (they are capacity loss, not retry churn);
+    ``min_ranks`` bounds how far the job may degrade.  ``integrity=True``
+    additionally turns silent payload corruption into typed, restartable
+    failures via the CRC envelope layer.  ``timeout=None`` uses the
+    env-overridable SimMPI default join timeout.
+
     Because the sharded restore is bit-exact, the recovered trajectory is
-    bit-for-bit the uninterrupted one — pinned by
-    ``tests/pencil/test_checkpoint.py``.
+    bit-for-bit the uninterrupted one — and a degraded run is bit-for-bit
+    a fresh run launched at the shrunken size from the same snapshot —
+    pinned by ``tests/pencil/test_checkpoint.py`` and
+    ``tests/pencil/test_elastic.py``.
     """
     from repro.core.checkpoint import ShardedCheckpointRotation
     from repro.core.health import HealthCheckError
     from repro.core.supervisor import RecoveryEvent
-    from repro.mpi.simmpi import RankFailure, SimMPIError, run_spmd
+    from repro.mpi.simmpi import RankFailure, ShrinkRequired, SimMPIError, run_spmd
+    from repro.pencil.decomp import choose_grid
 
     log: list[RecoveryEvent] = []
+    if timers is None:
+        timers = SectionTimers()
 
-    def _prog(comm: Communicator):
-        dns = DistributedChannelDNS(comm, config, pa=pa, pb=pb, method=method)
-        rotation = ShardedCheckpointRotation(checkpoint_dir, keep=keep, counters=counters)
-        # rank 0 decides restore-vs-initialize and broadcasts it: per-rank
-        # filesystem checks could race against rank 0 creating the first
-        # snapshot directory and leave ranks in different branches
-        resume = comm.bcast(
-            bool(rotation.snapshot_dirs()) if comm.rank == 0 else None, root=0
-        )
-        if resume:
-            rotation.load_latest(dns)
-        else:
-            dns.initialize()
-            rotation.save(dns)  # baseline: a restart must have a target
-        monitor = monitor_factory() if monitor_factory is not None else None
-        while dns.step_count < n_steps:
-            dns.step()
-            if monitor is not None:
-                monitor(dns)
-            if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
-                rotation.save(dns)
-        return dns.gather_state()
+    def _make_prog(cur_pa: int, cur_pb: int):
+        def _prog(comm: Communicator):
+            dns = DistributedChannelDNS(comm, config, pa=cur_pa, pb=cur_pb, method=method)
+            rotation = ShardedCheckpointRotation(
+                checkpoint_dir, keep=keep, counters=counters
+            )
+            # rank 0 decides restore-vs-initialize and broadcasts it: per-rank
+            # filesystem checks could race against rank 0 creating the first
+            # snapshot directory and leave ranks in different branches
+            resume = comm.bcast(
+                bool(rotation.snapshot_dirs()) if comm.rank == 0 else None, root=0
+            )
+            if resume:
+                rotation.load_latest(dns, reshard=elastic)
+            else:
+                dns.initialize()
+                rotation.save(dns)  # baseline: a restart must have a target
+            monitor = monitor_factory() if monitor_factory is not None else None
+            while dns.step_count < n_steps:
+                dns.step()
+                if monitor is not None:
+                    monitor(dns)
+                if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
+                    rotation.save(dns)
+            return dns.gather_state()
 
+        return _prog
+
+    cur_n, cur_pa, cur_pb = nranks, pa, pb
     attempt = 0
+    restarts_used = 0
     while True:
         plan = fault_plans[attempt] if attempt < len(fault_plans) else None
         try:
-            results = run_spmd(nranks, _prog, timeout=timeout, fault_plan=plan)
+            results = run_spmd(
+                cur_n,
+                _make_prog(cur_pa, cur_pb),
+                timeout=timeout,
+                fault_plan=plan,
+                elastic=elastic,
+                integrity=integrity,
+            )
             return results[0], log
+        except ShrinkRequired as exc:
+            nsurv = len(exc.survivors)
+            if nsurv < min_ranks:
+                raise
+            with timers.section(SectionTimers.ELASTIC):
+                mx = config.nx // 2
+                mz = config.nz - 1
+                new_pa, new_pb = choose_grid(nsurv, mx, mz, config.ny)
+            log.append(
+                RecoveryEvent(
+                    step=-1,
+                    kind="shrink",
+                    detail=(
+                        f"{exc}; re-planned {cur_pa}x{cur_pb} -> "
+                        f"{new_pa}x{new_pb} on {nsurv} ranks"
+                    ),
+                    attempt=attempt,
+                    info={"ranks": nsurv, "pa": new_pa, "pb": new_pb},
+                )
+            )
+            if counters is not None:
+                counters.shrinks += 1
+            cur_n, cur_pa, cur_pb = nsurv, new_pa, new_pb
+            attempt += 1
         except (SimMPIError, RankFailure, HealthCheckError) as exc:
             log.append(
                 RecoveryEvent(
@@ -302,5 +365,6 @@ def run_supervised_spmd(
             if counters is not None:
                 counters.restarts += 1
             attempt += 1
-            if attempt > max_restarts:
+            restarts_used += 1
+            if restarts_used > max_restarts:
                 raise

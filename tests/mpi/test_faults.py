@@ -11,10 +11,12 @@ import time
 import numpy as np
 import pytest
 
+from repro.mpi import simmpi
 from repro.mpi.simmpi import (
     FaultEvent,
     FaultPlan,
     RankFailure,
+    ShrinkRequired,
     SimMPIError,
     run_spmd,
 )
@@ -219,3 +221,149 @@ class TestAbortHardening:
         exc = _run_expecting(plan, prog, nranks=2)
         assert isinstance(exc, RankFailure)
         assert exc.rank == 0 and exc.op == "barrier" and exc.call == 0
+
+
+class TestTimeoutKnob:
+    """One configurable context default, env-overridable (no 30 s cliffs)."""
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "7.5")
+        assert simmpi.default_timeout() == 7.5
+        assert simmpi.default_join_timeout() == 7.5 * simmpi.JOIN_TIMEOUT_FACTOR
+        monkeypatch.delenv("REPRO_SIMMPI_TIMEOUT")
+        assert simmpi.default_timeout() == simmpi.DEFAULT_TIMEOUT
+
+    def test_recv_timeout_follows_context_default(self, monkeypatch):
+        """A recv with no sender times out with a typed error at the
+        configured default, not a hardcoded 30 s."""
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "0.3")
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(source=0)  # nobody sends
+            return True
+
+        t0 = time.perf_counter()
+        with pytest.raises(SimMPIError, match="timed out"):
+            run_spmd(2, prog)
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_explicit_recv_timeout_still_wins(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, timeout=0.2)
+            return True
+
+        t0 = time.perf_counter()
+        with pytest.raises(SimMPIError, match="timed out"):
+            run_spmd(2, prog, timeout=20.0)
+        assert time.perf_counter() - t0 < 5.0
+
+
+class TestElasticShrink:
+    """Survivor agreement: one consistent ShrinkRequired instead of abort."""
+
+    def _prog(self, comm):
+        for _ in range(4):
+            comm.allreduce(comm.rank)
+            comm.barrier()
+        return True
+
+    def test_survivors_agree_on_identical_shrink(self):
+        plan = FaultPlan([FaultEvent(action="kill", rank=2, op="allreduce", call=1)])
+        seen = []
+
+        def prog(comm):
+            try:
+                return self._prog(comm)
+            except ShrinkRequired as exc:
+                seen.append((comm.rank, exc.survivors, exc.dead))
+                raise
+
+        t0 = time.perf_counter()
+        with pytest.raises(ShrinkRequired) as info:
+            run_spmd(4, prog, fault_plan=plan, elastic=True, timeout=60.0)
+        assert time.perf_counter() - t0 < BOUNDED
+        assert info.value.survivors == (0, 1, 3)
+        assert info.value.dead == (2,)
+        # every survivor observed the *same* agreed membership
+        assert len(seen) == 3
+        assert {s[1] for s in seen} == {(0, 1, 3)}
+        assert {s[2] for s in seen} == {(2,)}
+
+    def test_two_kills_same_epoch_one_agreement(self):
+        """Two planned kills in the same epoch: the second victim may be
+        released by the first failure before its own kill fires (and then
+        legitimately survives), but the agreed membership is always a
+        consistent partition with every fired kill in the dead set."""
+        plan = FaultPlan(
+            [
+                FaultEvent(action="kill", rank=1, op="allreduce", call=1),
+                FaultEvent(action="kill", rank=2, op="allreduce", call=1),
+            ]
+        )
+        with pytest.raises(ShrinkRequired) as info:
+            run_spmd(4, self._prog, fault_plan=plan, elastic=True, timeout=60.0)
+        dead = set(info.value.dead)
+        fired = {t["rank"] for t in plan.triggered}
+        assert fired and fired <= {1, 2}
+        assert dead == fired  # exactly the kills that fired are dead
+        assert info.value.survivors == tuple(sorted(set(range(4)) - dead))
+
+    def test_elastic_off_keeps_classic_abort(self):
+        plan = FaultPlan([FaultEvent(action="kill", rank=2, op="allreduce", call=1)])
+        exc = _run_expecting(plan, self._prog)
+        assert exc.rank == 2
+
+    def test_genuine_bug_outranks_shrink(self):
+        """A non-fault crash (user bug) must not be masked as a shrink."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise KeyError("user bug")
+            comm.barrier()
+            return True
+
+        with pytest.raises(KeyError, match="user bug"):
+            run_spmd(3, prog, elastic=True, timeout=60.0)
+
+
+class TestIntegrityEnvelope:
+    """Checksummed payloads: corruption becomes a typed, attributed error."""
+
+    def test_corrupt_bcast_detected_at_receivers(self):
+        plan = FaultPlan([FaultEvent(action="corrupt", rank=1, op="bcast")])
+
+        def prog(comm):
+            payload = np.zeros(64) if comm.rank == 1 else None
+            return comm.bcast(payload, root=1)
+
+        t0 = time.perf_counter()
+        with pytest.raises(SimMPIError) as info:
+            run_spmd(4, prog, fault_plan=plan, integrity=True, timeout=60.0)
+        assert time.perf_counter() - t0 < BOUNDED
+        assert "corrupt payload" in str(info.value)
+        assert info.value.rank == 1
+
+    def test_corrupt_alltoall_chunk_detected(self):
+        plan = FaultPlan([FaultEvent(action="corrupt", rank=0, op="alltoall")])
+
+        def prog(comm):
+            return comm.alltoall([np.zeros(16) for _ in range(comm.size)])
+
+        with pytest.raises(SimMPIError, match="corrupt payload"):
+            run_spmd(2, prog, fault_plan=plan, integrity=True, timeout=60.0)
+
+    def test_clean_payloads_pass_unchanged(self):
+        def prog(comm):
+            got = comm.allgather(np.full(8, comm.rank, float))
+            comm.barrier()
+            parts = comm.alltoall([np.array([comm.rank, i]) for i in range(comm.size)])
+            return got, parts
+
+        out = run_spmd(3, prog, integrity=True)
+        for rank, (got, parts) in enumerate(out):
+            for r, arr in enumerate(got):
+                np.testing.assert_array_equal(arr, np.full(8, r, float))
+            for r, arr in enumerate(parts):
+                np.testing.assert_array_equal(arr, np.array([r, rank]))

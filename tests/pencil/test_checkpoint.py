@@ -138,6 +138,37 @@ class TestCoordinatedFallback:
 
         assert all(run_spmd(4, restore))
 
+    def test_failure_message_names_shard_rank_path_and_reason(self, tmp_path):
+        """When every snapshot is exhausted, the error says exactly which
+        rank's shard failed verification and why — not a generic mismatch."""
+
+        def save_one(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            dns.save_checkpoint(tmp_path)
+            return True
+
+        run_spmd(4, save_one)
+        _flip_byte(tmp_path / "step-000000001" / "shard-r0002.npz")
+
+        def restore(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            try:
+                dns.load_checkpoint(tmp_path)
+            except CheckpointCorruptError as exc:
+                return str(exc)
+            return None
+
+        messages = run_spmd(4, restore)
+        for msg in messages:
+            assert msg is not None
+            # which rank, which file, and the underlying reason
+            assert "rank 2" in msg
+            assert "shard-r0002.npz" in msg
+            assert "failed verification" in msg
+            assert "checksum mismatch" in msg or "unreadable" in msg
+
     def test_layout_mismatch_rejected(self, tmp_path):
         def save_4ranks(comm):
             dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)

@@ -1,0 +1,222 @@
+"""Elastic recovery tests: grid re-planning, resharding restore, shrink identity.
+
+The distributed acceptance property: a run killed at rank ``r`` mid-step
+shrinks to ``P-1`` survivors, restores from the sharded snapshot via the
+resharding reader, and lands bit-for-bit on a fresh ``P-1`` run started
+from that snapshot — pinned for a ``2x2 -> 1x3`` shrink and for the
+shrink to serial ``1x1``.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelConfig
+from repro.core.checkpoint import ShardedCheckpointRotation
+from repro.instrument import RecoveryCounters, SectionTimers
+from repro.mpi.simmpi import FaultEvent, FaultPlan, ShrinkRequired, run_spmd
+from repro.mpi.topology import factor_pairs
+from repro.pencil.decomp import choose_grid
+from repro.pencil.distributed import DistributedChannelDNS, run_supervised_spmd
+
+CFG = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=8)
+MX, MZ = CFG.nx // 2, CFG.nz - 1  # 8 spectral-x, 15 spectral-z modes
+
+
+class TestChooseGrid:
+    def test_factor_pairs_enumerates_all(self):
+        assert factor_pairs(12) == [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+        assert factor_pairs(1) == [(1, 1)]
+        with pytest.raises(ValueError, match="cannot factor"):
+            factor_pairs(0)
+
+    def test_most_square_grid_wins(self):
+        assert choose_grid(4, MX, MZ, CFG.ny) == (2, 2)
+        assert choose_grid(1, MX, MZ, CFG.ny) == (1, 1)
+
+    def test_tie_prefers_larger_pb(self):
+        # 6 = 2x3 or 3x2, equally square; CommB node-locality (Table 5)
+        # prefers the larger inner communicator
+        assert choose_grid(6, MX, MZ, CFG.ny) == (2, 3)
+
+    def test_extent_constraints_filter_candidates(self):
+        # mx=2 caps pa at 2, so the most-square 3x4/4x3 grids are invalid
+        assert choose_grid(12, 2, 12, 12, nzq=12) == (2, 6)
+
+    def test_no_valid_grid_raises(self):
+        with pytest.raises(ValueError, match="no valid"):
+            choose_grid(7, 3, 3, 3)
+
+
+def _write_snapshot(tmp_path, pa, pb, steps=3):
+    """Write one sharded snapshot at the given grid; return the full state."""
+
+    def prog(comm):
+        dns = DistributedChannelDNS(comm, CFG, pa=pa, pb=pb)
+        dns.initialize()
+        dns.run(steps)
+        ShardedCheckpointRotation(tmp_path).save(dns)
+        return dns.gather_state()
+
+    return run_spmd(pa * pb, prog)[0]
+
+
+class TestReshardRestore:
+    @pytest.mark.parametrize(
+        "old,new",
+        [((2, 2), (1, 3)), ((2, 2), (4, 1)), ((1, 3), (2, 2)), ((2, 2), (1, 1))],
+    )
+    def test_reshard_roundtrip_is_bit_exact(self, tmp_path, old, new):
+        ref = _write_snapshot(tmp_path, *old)
+
+        counters = RecoveryCounters()
+
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=new[0], pb=new[1])
+            rot = ShardedCheckpointRotation(tmp_path, counters=counters)
+            rot.load_latest(dns, reshard=True)
+            assert dns.step_count == 3
+            return dns.gather_state()
+
+        full = run_spmd(new[0] * new[1], prog)[0]
+        assert counters.reshard_restores == new[0] * new[1]
+        np.testing.assert_array_equal(full.v, ref.v)
+        np.testing.assert_array_equal(full.omega_y, ref.omega_y)
+        np.testing.assert_array_equal(full.u00, ref.u00)
+        np.testing.assert_array_equal(full.w00, ref.w00)
+        assert full.time == ref.time
+
+    def test_same_layout_with_reshard_flag_stays_fast_path(self, tmp_path):
+        ref = _write_snapshot(tmp_path, 2, 2)
+        counters = RecoveryCounters()
+
+        def prog(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            rot = ShardedCheckpointRotation(tmp_path, counters=counters)
+            rot.load_latest(dns, reshard=True)
+            return dns.gather_state()
+
+        full = run_spmd(4, prog)[0]
+        assert counters.reshard_restores == 0  # same layout: no reshard counted
+        np.testing.assert_array_equal(full.v, ref.v)
+
+    def test_load_serial_reassembles_full_state(self, tmp_path):
+        ref = _write_snapshot(tmp_path, 2, 2)
+        dns = ShardedCheckpointRotation(tmp_path).load_serial()
+        assert dns.step_count == 3
+        np.testing.assert_array_equal(dns.state.v, ref.v)
+        np.testing.assert_array_equal(dns.state.omega_y, ref.omega_y)
+        np.testing.assert_array_equal(dns.state.u00, ref.u00)
+        np.testing.assert_array_equal(dns.state.w00, ref.w00)
+        # and it keeps integrating: the serial continuation matches the
+        # distributed one to round-off
+        def cont(comm):
+            d = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            ShardedCheckpointRotation(tmp_path).load_latest(d)
+            d.run(2)
+            return d.gather_state()
+
+        dist = run_spmd(4, cont)[0]
+        dns.run(2)
+        np.testing.assert_allclose(dns.state.v, dist.v, rtol=0, atol=1e-12)
+
+
+class TestElasticShrinkIdentity:
+    """THE elastic acceptance criterion, for two (A,B) -> (A',B') transitions."""
+
+    @pytest.mark.parametrize(
+        "nranks,pa,pb",
+        [(4, 2, 2), (2, 2, 1)],  # 2x2 -> 1x3, and 2x1 -> serial 1x1
+    )
+    def test_degraded_run_matches_fresh_run_at_survivor_count(
+        self, tmp_path, nranks, pa, pb
+    ):
+        """Kill rank 1 inside a pencil-transpose alltoall mid-run: the
+        elastic supervisor shrinks to the agreed survivors, re-plans the
+        grid, reshard-restores, and the final state is bit-for-bit a
+        fresh run at the survivor count started from the same snapshot."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=1, op="alltoall", call=150)])
+        counters = RecoveryCounters()
+        timers = SectionTimers()
+        final, log = run_supervised_spmd(
+            nranks,
+            CFG,
+            pa=pa,
+            pb=pb,
+            n_steps=10,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=5,
+            fault_plans=[plan],
+            counters=counters,
+            elastic=True,
+            integrity=True,
+            timers=timers,
+        )
+
+        assert plan.triggered  # the kill really fired
+        assert counters.shrinks == 1 and counters.restarts == 0
+        assert counters.reshard_restores >= 1
+        assert timers.elapsed[SectionTimers.ELASTIC] > 0
+        shrink = [e for e in log if e.kind == "shrink"][0]
+        nsurv = shrink.info["ranks"]
+        assert nsurv == nranks - 1
+        new_pa, new_pb = shrink.info["pa"], shrink.info["pb"]
+        assert (new_pa, new_pb) == choose_grid(nsurv, MX, MZ, CFG.ny)
+
+        # rewind the rotation to the step-5 snapshot and launch a *fresh*
+        # run at the survivor grid from it — must land on the same bits
+        shutil.rmtree(tmp_path / "step-000000010")
+        (tmp_path / "latest").write_text("step-000000005")
+
+        def fresh(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=new_pa, pb=new_pb)
+            ShardedCheckpointRotation(tmp_path).load_latest(dns, reshard=True)
+            assert dns.step_count == 5
+            while dns.step_count < 10:
+                dns.step()
+            return dns.gather_state()
+
+        fresh_full = run_spmd(nsurv, fresh)[0]
+        np.testing.assert_array_equal(final.v, fresh_full.v)
+        np.testing.assert_array_equal(final.omega_y, fresh_full.omega_y)
+        np.testing.assert_array_equal(final.u00, fresh_full.u00)
+        np.testing.assert_array_equal(final.w00, fresh_full.w00)
+        assert final.time == fresh_full.time
+
+    def test_min_ranks_bounds_degradation(self, tmp_path):
+        """A shrink below min_ranks propagates the ShrinkRequired."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=1, op="alltoall", call=150)])
+        with pytest.raises(ShrinkRequired):
+            run_supervised_spmd(
+                4,
+                CFG,
+                pa=2,
+                pb=2,
+                n_steps=10,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=5,
+                fault_plans=[plan],
+                elastic=True,
+                min_ranks=4,
+            )
+
+    def test_non_elastic_supervisor_unchanged(self, tmp_path):
+        """Without elastic=True the same kill takes the classic
+        same-size restart path (PR-3 behavior preserved)."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=1, op="alltoall", call=150)])
+        counters = RecoveryCounters()
+        final, log = run_supervised_spmd(
+            4,
+            CFG,
+            pa=2,
+            pb=2,
+            n_steps=10,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=5,
+            fault_plans=[plan],
+            counters=counters,
+        )
+        assert [e.kind for e in log] == ["restart"]
+        assert counters.restarts == 1 and counters.shrinks == 0
+        assert np.all(np.isfinite(final.v))

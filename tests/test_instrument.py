@@ -124,6 +124,8 @@ class TestRecoveryCounters:
         c.rollbacks += 2
         c.restarts += 1
         c.dt_reductions += 1
+        c.shrinks += 2
+        c.reshard_restores += 1
         assert c.snapshot() == {
             "checkpoints_saved": 4,
             "checkpoints_pruned": 1,
@@ -132,6 +134,8 @@ class TestRecoveryCounters:
             "rollbacks": 2,
             "restarts": 1,
             "dt_reductions": 1,
+            "shrinks": 2,
+            "reshard_restores": 1,
         }
         rep = c.report()
         assert "checkpoints=4 saved/1 pruned" in rep
