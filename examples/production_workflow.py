@@ -1,4 +1,5 @@
-"""A production-style DNS workflow: grid sequencing, control, checkpoints.
+"""A production-style DNS workflow: grid sequencing, control, checkpoints,
+supervised recovery, and run telemetry.
 
 Mirrors how campaigns like the paper's Re_tau = 5200 run are actually
 operated (at laptop scale):
@@ -7,8 +8,11 @@ operated (at laptop scale):
 2. spectrally regrid the state onto a finer production grid,
 3. continue with checkpointing and a mass-flux hold,
 4. interrupt-and-restart, verifying exact continuation,
-5. survive a mid-run blow-up under the watchdog-supervised harness
-   (rollback to the last good snapshot, retry, bit-exact recovery),
+5. survive a mid-run blow-up under the watchdog-supervised harness —
+   the health monitor detects the NaN, the supervisor rolls back to the
+   last verified snapshot and retries, and the recovered trajectory is
+   bit-exact; the whole episode (failure, rollback, dt policy) lands in
+   a telemetry stream alongside per-step timings (docs/observability.md),
 6. estimate what the *paper's* campaign costs through the machine model.
 
 Run:  python examples/production_workflow.py
@@ -29,6 +33,7 @@ from repro.perfmodel.production import (
     PAPER_CORE_HOURS,
     plan_campaign,
 )
+from repro.telemetry import read_stream
 
 
 def main() -> None:
@@ -85,7 +90,7 @@ def main() -> None:
     reference.initialize(resumed.state.copy())
     reference.run(12)
 
-    supervised = ChannelDNS(prod_cfg)
+    supervised = ChannelDNS(prod_cfg, telemetry=workdir / "telemetry")
     supervised.initialize(resumed.state.copy())
     sup = RunSupervisor(
         supervised,
@@ -103,9 +108,14 @@ def main() -> None:
 
     supervised_start = supervised.step_count
     final = sup.run(12, callback=cosmic_ray)
+    final.finalize_telemetry()
     err = float(np.abs(final.state.v - reference.state.v).max())
     print(f"  injected NaN at step +8; {sup.report()}")
-    print(f"  |recovered - uninterrupted| = {err:.2e} (bit-exact)\n")
+    print(f"  |recovered - uninterrupted| = {err:.2e} (bit-exact)")
+    events = [r["kind"] for r in read_stream(workdir / "telemetry" / "telemetry.jsonl")
+              if r["type"] == "event"]
+    print(f"  telemetry stream recorded the episode: {events}")
+    print(f"  (breakdown: python -m repro.telemetry.report {workdir}/telemetry/telemetry.jsonl)\n")
 
     # -- stage 6: price the real campaign ---------------------------------
     print("stage 6: the paper's production campaign through the machine model")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Guard the hot paths: measure now, compare to the committed baseline.
+
+Wraps :mod:`repro.telemetry.baseline`.  Exit status is the contract:
+0 = no regression (or ``--record`` / ``--report`` mode), 1 = at least
+one hot path regressed beyond tolerance.
+
+    python scripts/check_perf.py --record              # (re)write the baseline
+    python scripts/check_perf.py                       # blocking check
+    python scripts/check_perf.py --report              # CI mode: print, never fail
+    python scripts/check_perf.py --inject-slowdown 1.2 # prove the detector fires
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.telemetry import baseline as B  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", type=pathlib.Path, default=B.DEFAULT_BASELINE,
+                    help="baseline file (default: the committed benchmarks/results/baselines.json)")
+    ap.add_argument("--record", action="store_true", help="measure and (re)write the baseline file")
+    ap.add_argument("--report", action="store_true",
+                    help="print the comparison but always exit 0 (CI non-blocking mode)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help=f"regression tolerance as a fraction (default: the baseline's, else {B.DEFAULT_TOLERANCE})")
+    ap.add_argument("--repeats", type=int, default=5, help="samples per case (median taken)")
+    ap.add_argument("--min-time", type=float, default=0.05, help="minimum seconds per sample batch")
+    ap.add_argument("--inject-slowdown", type=float, default=1.0,
+                    help="multiply current measurements by this factor (detector self-test)")
+    args = ap.parse_args(argv)
+
+    if args.record:
+        doc = B.record_baselines(args.baseline, repeats=args.repeats, min_time=args.min_time)
+        print(f"recorded {len(doc['cases'])} hot-path baselines -> {args.baseline}")
+        for name, case in sorted(doc["cases"].items()):
+            print(f"  {name:>22}: {case['median_s'] * 1e3:8.3f} ms  "
+                  f"(normalized {case['normalized']:.3f})  [{case['guards']}]")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --record first", file=sys.stderr)
+        return 0 if args.report else 2
+
+    base = B.load_baselines(args.baseline)
+    tol = args.tolerance if args.tolerance is not None else base.get("tolerance", B.DEFAULT_TOLERANCE)
+    results = B.check_against(
+        base,
+        repeats=args.repeats,
+        min_time=args.min_time,
+        tolerance=tol,
+        inject_slowdown=args.inject_slowdown,
+    )
+    print(B.format_check_report(results, tol))
+    if args.report:
+        return 0
+    return 1 if any(r.status == "regressed" for r in results) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

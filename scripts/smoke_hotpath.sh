@@ -108,6 +108,10 @@ print("trajectory identity OK")
 EOF
 
 echo
+echo "== telemetry smoke: stream + manifest + trace, < 1% recorder overhead =="
+python scripts/telemetry_smoke.py --out "$(mktemp -d)/telemetry" --steps 40
+
+echo
 echo "== kill-restart-verify: crash at step 7, supervised restart, identity at step 10 =="
 python - <<'EOF'
 import pathlib

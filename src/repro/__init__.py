@@ -15,7 +15,10 @@ The package provides four layers:
   (:mod:`repro.pencil`);
 * calibrated machine models of the paper's four benchmark systems that
   regenerate its performance tables (:mod:`repro.perfmodel`), plus
-  statistics references and field visualisation (:mod:`repro.stats`).
+  statistics references and field visualisation (:mod:`repro.stats`);
+* run observability (:mod:`repro.telemetry`): every driver takes
+  ``telemetry=`` and emits a JSON-lines record stream, a run manifest
+  and a Chrome trace (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -30,6 +33,7 @@ from repro.core import ChannelConfig, ChannelDNS, ChannelGrid, RunningStatistics
 from repro.mpi import run_spmd
 from repro.pencil import P3DFFTBaseline, PencilTransforms
 from repro.pencil.distributed import DistributedChannelDNS
+from repro.telemetry import RunRecorder, TelemetryConfig
 
 __version__ = "1.0.0"
 
@@ -40,7 +44,9 @@ __all__ = [
     "DistributedChannelDNS",
     "P3DFFTBaseline",
     "PencilTransforms",
+    "RunRecorder",
     "RunningStatistics",
+    "TelemetryConfig",
     "run_spmd",
     "__version__",
 ]

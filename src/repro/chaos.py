@@ -143,6 +143,7 @@ def run_chaos_soak(
     atol: float = 1e-11,
     timeout: float | None = None,
     verbose: bool = False,
+    telemetry=None,
 ) -> list[SoakResult]:
     """Run one elastic supervised job per seed and classify every outcome.
 
@@ -152,6 +153,12 @@ def run_chaos_soak(
     still fire afterwards.  ``max_restarts`` is sized from the event
     count, which bounds every run: each failed attempt consumes at least
     one planned event, so the job always terminates.
+
+    ``telemetry`` (a directory or
+    :class:`~repro.telemetry.TelemetryConfig`) records the soak: a
+    top-level ``events.jsonl`` gets one ``soak_result`` event per seed
+    plus a final ``soak_summary``, and each seed's supervised job writes
+    its full per-attempt streams under ``<dir>/soak-NNNNN/``.
     """
     from repro.pencil.decomp import choose_grid
     from repro.pencil.distributed import run_supervised_spmd
@@ -160,59 +167,95 @@ def run_chaos_soak(
     if pa is None or pb is None:
         pa, pb = choose_grid(nranks, config.nx // 2, config.nz - 1, config.ny)
     workdir = pathlib.Path(workdir)
+    soak_rec = None
+    tel_cfg = None
+    if telemetry is not None:
+        from dataclasses import replace as _replace
+
+        from repro.telemetry import RunRecorder, TelemetryConfig
+
+        tel_cfg = TelemetryConfig.coerce(telemetry)
+        soak_rec = RunRecorder(tel_cfg, rank=-1, nranks=nranks)
     ref = _serial_reference(config, n_steps)
     results: list[SoakResult] = []
-    for seed in seeds:
-        plan = random_fault_plan(seed, nranks, max_events=max_events)
-        ckpt = workdir / f"soak-{seed:05d}"
-        shutil.rmtree(ckpt, ignore_errors=True)
-        counters = RecoveryCounters()
-        res = SoakResult(
-            seed=seed, classification="failed", final_ranks=nranks,
-            events_planned=len(plan.events),
-        )
-        max_restarts = len(plan.events) + 2
-        try:
-            full, log = run_supervised_spmd(
-                nranks, config, pa, pb, n_steps, ckpt,
-                checkpoint_every=checkpoint_every,
-                max_restarts=max_restarts,
-                # same stateful plan on every attempt: unfired events persist
-                fault_plans=[plan] * (max_restarts + 1),
-                timeout=timeout,
-                counters=counters,
-                elastic=True,
-                integrity=True,
+    try:
+        for seed in seeds:
+            plan = random_fault_plan(seed, nranks, max_events=max_events)
+            ckpt = workdir / f"soak-{seed:05d}"
+            shutil.rmtree(ckpt, ignore_errors=True)
+            counters = RecoveryCounters()
+            res = SoakResult(
+                seed=seed, classification="failed", final_ranks=nranks,
+                events_planned=len(plan.events),
             )
-        except Exception as exc:  # noqa: BLE001 - classified, not propagated
-            hung = "timed out" in str(exc)
-            res.classification = "hung" if hung else "failed"
-            res.detail = f"{type(exc).__name__}: {exc}"
-        else:
-            shrinks = [e for e in log if e.kind == "shrink"]
-            if shrinks:
-                res.final_ranks = int(shrinks[-1].info["ranks"])
-            if not _matches(full, ref, atol):
-                res.classification = "diverged"
-                res.detail = "final state does not match the serial oracle"
-            elif counters.shrinks:
-                res.classification = "degraded"
-            elif counters.restarts:
-                res.classification = "recovered"
+            max_restarts = len(plan.events) + 2
+            seed_tel = None
+            if tel_cfg is not None:
+                seed_tel = _replace(
+                    tel_cfg,
+                    directory=pathlib.Path(tel_cfg.directory) / f"soak-{seed:05d}",
+                )
+            try:
+                full, log = run_supervised_spmd(
+                    nranks, config, pa, pb, n_steps, ckpt,
+                    checkpoint_every=checkpoint_every,
+                    max_restarts=max_restarts,
+                    # same stateful plan on every attempt: unfired events persist
+                    fault_plans=[plan] * (max_restarts + 1),
+                    timeout=timeout,
+                    counters=counters,
+                    elastic=True,
+                    integrity=True,
+                    telemetry=seed_tel,
+                )
+            except Exception as exc:  # noqa: BLE001 - classified, not propagated
+                hung = "timed out" in str(exc)
+                res.classification = "hung" if hung else "failed"
+                res.detail = f"{type(exc).__name__}: {exc}"
             else:
-                res.classification = "completed"
-        res.restarts = counters.restarts
-        res.shrinks = counters.shrinks
-        res.events_fired = len(plan.triggered)
-        results.append(res)
-        if verbose:
-            print(
-                f"seed {seed:5d}: {res.classification:<10} "
-                f"fired={res.events_fired}/{res.events_planned} "
-                f"restarts={res.restarts} shrinks={res.shrinks} "
-                f"ranks={nranks}->{res.final_ranks} {res.detail}"
+                shrinks = [e for e in log if e.kind == "shrink"]
+                if shrinks:
+                    res.final_ranks = int(shrinks[-1].info["ranks"])
+                if not _matches(full, ref, atol):
+                    res.classification = "diverged"
+                    res.detail = "final state does not match the serial oracle"
+                elif counters.shrinks:
+                    res.classification = "degraded"
+                elif counters.restarts:
+                    res.classification = "recovered"
+                else:
+                    res.classification = "completed"
+            res.restarts = counters.restarts
+            res.shrinks = counters.shrinks
+            res.events_fired = len(plan.triggered)
+            results.append(res)
+            if soak_rec is not None:
+                from dataclasses import asdict
+
+                soak_rec.record_event(
+                    "soak_result",
+                    step=-1,
+                    detail=f"seed {seed}: {res.classification}",
+                    info=asdict(res),
+                )
+            if verbose:
+                print(
+                    f"seed {seed:5d}: {res.classification:<10} "
+                    f"fired={res.events_fired}/{res.events_planned} "
+                    f"restarts={res.restarts} shrinks={res.shrinks} "
+                    f"ranks={nranks}->{res.final_ranks} {res.detail}"
+                )
+            shutil.rmtree(ckpt, ignore_errors=True)
+        if soak_rec is not None:
+            soak_rec.record_event(
+                "soak_summary",
+                step=-1,
+                detail=f"{len(results)} seeded runs",
+                info=soak_summary(results),
             )
-        shutil.rmtree(ckpt, ignore_errors=True)
+    finally:
+        if soak_rec is not None:
+            soak_rec.close()
     return results
 
 

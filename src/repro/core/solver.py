@@ -74,9 +74,19 @@ class ChannelConfig:
 
 
 class ChannelDNS:
-    """Serial spectral channel DNS (Kim–Moin–Moser formulation)."""
+    """Serial spectral channel DNS (Kim–Moin–Moser formulation).
 
-    def __init__(self, config: ChannelConfig) -> None:
+    ``telemetry`` enables structured run recording (see
+    :mod:`repro.telemetry`): pass a directory path or a
+    :class:`~repro.telemetry.TelemetryConfig` and every step emits a
+    JSON-lines record (section times, counters, dt, CFL) with a run
+    manifest and a Chrome trace written alongside; an already-built
+    :class:`~repro.telemetry.RunRecorder` is attached as-is.  Call
+    :meth:`finalize_telemetry` (or close the recorder) at the end of a
+    run to write the summary record.
+    """
+
+    def __init__(self, config: ChannelConfig, telemetry=None) -> None:
         self.config = config
         self.grid = ChannelGrid(
             config.nx,
@@ -104,6 +114,12 @@ class ChannelDNS:
         self.statistics = RunningStatistics(self.grid)
         self.state: ChannelState | None = None
         self.step_count = 0
+        self.recorder = None
+        if telemetry is not None:
+            from repro.telemetry import RunRecorder
+
+            rec = telemetry if isinstance(telemetry, RunRecorder) else RunRecorder(telemetry)
+            rec.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -135,6 +151,13 @@ class ChannelDNS:
             raise RuntimeError("call initialize() first")
         self.state = self.stepper.step(self.state)
         self.step_count += 1
+        if self.recorder is not None:
+            self.recorder.record_step(self)
+
+    def finalize_telemetry(self) -> None:
+        """Close the attached recorder (summary record + final trace)."""
+        if self.recorder is not None:
+            self.recorder.close()
 
     def set_dt(self, dt: float) -> None:
         """Change the timestep (refactors the implicit banded systems)."""

@@ -106,6 +106,13 @@ class RunSupervisor:
         :class:`~repro.core.control.CFLController`).  Controllers that
         expose ``clamp_max_dt`` are clamped after a dt degradation so
         they cannot immediately undo it.
+    recorder:
+        Optional :class:`~repro.telemetry.RunRecorder`; defaults to the
+        one already attached to ``dns`` (``ChannelDNS(..., telemetry=...)``).
+        Every recovery-log entry is mirrored into its event stream, its
+        ``recovery`` counter deltas track this supervisor's counters, and
+        after a rollback the recorder is re-attached to the replacement
+        driver so the step stream continues across the restore.
     """
 
     def __init__(
@@ -119,6 +126,7 @@ class RunSupervisor:
         timers: SectionTimers | None = None,
         counters: RecoveryCounters | None = None,
         sleep=time.sleep,
+        recorder=None,
     ) -> None:
         self.dns = dns
         self.rotation = rotation
@@ -133,6 +141,21 @@ class RunSupervisor:
             rotation.counters = self.counters
         self.log: list[RecoveryEvent] = []
         self._sleep = sleep
+        self.recorder = recorder if recorder is not None else getattr(dns, "recorder", None)
+        if self.recorder is not None:
+            self.recorder.set_recovery_counters(self.counters)
+
+    def _event(self, event: RecoveryEvent) -> None:
+        """Append to the recovery log, mirrored into the telemetry stream."""
+        self.log.append(event)
+        if self.recorder is not None:
+            self.recorder.record_event(
+                event.kind,
+                step=event.step,
+                detail=event.detail,
+                attempt=event.attempt,
+                info=event.info,
+            )
 
     # ------------------------------------------------------------------
 
@@ -155,7 +178,7 @@ class RunSupervisor:
             except RECOVERABLE as exc:
                 failed_at = self.dns.step_count
                 self.counters.failures += 1
-                self.log.append(
+                self._event(
                     RecoveryEvent(
                         step=failed_at,
                         kind="failure",
@@ -169,7 +192,7 @@ class RunSupervisor:
                 else:
                     consecutive += 1
                 if consecutive > self.policy.max_retries:
-                    self.log.append(
+                    self._event(
                         RecoveryEvent(
                             step=failed_at,
                             kind="giving_up",
@@ -230,7 +253,11 @@ class RunSupervisor:
                     f"rollback impossible: {exc}"
                 ) from exc
         self.counters.rollbacks += 1
-        self.log.append(
+        if self.recorder is not None:
+            # the restore built a fresh driver: move the stream (and its
+            # delta baselines) over so step records continue seamlessly
+            self.recorder.attach(self.dns)
+        self._event(
             RecoveryEvent(
                 step=self.dns.step_count,
                 kind="rollback",
@@ -246,7 +273,7 @@ class RunSupervisor:
                 if clamp is not None:
                     clamp(new_dt)
             self.counters.dt_reductions += 1
-            self.log.append(
+            self._event(
                 RecoveryEvent(
                     step=self.dns.step_count,
                     kind="dt_reduction",

@@ -236,6 +236,27 @@ class IMEXStepper:
 
     # ------------------------------------------------------------------
 
+    def solve_counters(self) -> dict:
+        """Aggregated :class:`~repro.instrument.SolveCounters` snapshot
+        over every solve engine built by this stepper's factorizations
+        (the omega/phi Helmholtz LUs and, where owned, the mean-mode
+        LUs).  Reads only engines that already exist, so it never
+        allocates — safe to call from the telemetry hot path."""
+        total = {
+            "workspace_bytes": 0,
+            "workspace_allocs": 0,
+            "solves": 0,
+            "sweeps": 0,
+            "columns": 0,
+        }
+        lus = [inf.helm_lu for inf in self._influence] + list(self._mean_lu)
+        for lu in lus:
+            for eng in lu.engines():
+                snap = eng.counters.snapshot()
+                for k in total:
+                    total[k] += snap[k]
+        return total
+
     def cfl_number(self) -> float:
         """Advective CFL of the last substep's velocity field (global max
         when a ``reduce_max`` is wired in)."""

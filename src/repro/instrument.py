@@ -19,11 +19,28 @@ solves, while the execution counters (solves, sweeps, columns) keep
 moving.
 
 :class:`RecoveryCounters` is the fault-tolerance bookkeeping shared by
-the checkpoint rotations (:mod:`repro.core.checkpoint`) and the run
-supervisor (:mod:`repro.core.supervisor`): snapshots saved/pruned,
-verification failures, watchdog trips, rollbacks, restarts and dt
-reductions.  Together with the ``CHECKPOINT``/``RECOVERY`` timer
+the checkpoint rotations (:mod:`repro.core.checkpoint`), the run
+supervisor (:mod:`repro.core.supervisor`) and the elastic job loop
+(:func:`repro.pencil.distributed.run_supervised_spmd`): snapshots
+saved/pruned, verification failures, watchdog trips, rollbacks,
+restarts, dt reductions — and, from the elastic layer, ``shrinks``
+(agreed survivor-set reductions after a rank death) and
+``reshard_restores`` (snapshots reassembled onto a different process
+grid).  Together with the ``CHECKPOINT``/``RECOVERY``/``ELASTIC`` timer
 sections this is how a campaign's recovery history is surfaced.
+
+:class:`TelemetryCounters` is the same discipline for the structured
+run recorder (:mod:`repro.telemetry`): records and bytes emitted keep
+moving while the recorder-owned scratch (``workspace_allocs``) freezes
+after the first record — the recorder must not allocate on the hot
+path.  ``overhead_seconds`` accumulates the recorder's own wall time so
+its <1%-of-step budget is checkable from the stream itself.
+
+Every timer additionally accepts an optional ``tracer`` (a
+:class:`repro.telemetry.trace.TraceWriter`): when set, each timed
+section is also emitted as a Chrome ``trace_event`` span, giving the
+per-rank Transpose/FFT/N-S-advance/solve nesting in Perfetto without
+touching any driver code.
 """
 
 from __future__ import annotations
@@ -62,6 +79,9 @@ class SectionTimers:
     def __init__(self) -> None:
         self.elapsed: dict[str, float] = defaultdict(float)
         self.calls: dict[str, int] = defaultdict(int)
+        #: optional span sink (``repro.telemetry.trace.TraceWriter``); when
+        #: set, every timed section is also emitted as a trace span
+        self.tracer = None
 
     @contextmanager
     def section(self, name: str):
@@ -70,8 +90,12 @@ class SectionTimers:
         try:
             yield
         finally:
-            self.elapsed[name] += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            self.elapsed[name] += dt
             self.calls[name] += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.add_complete(name, t0, dt)
 
     def total(self) -> float:
         return sum(v for k, v in self.elapsed.items() if k not in self.NESTED)
@@ -244,4 +268,48 @@ class RecoveryCounters:
             f"rollbacks={self.rollbacks}  restarts={self.restarts}  "
             f"dt_reductions={self.dt_reductions}  shrinks={self.shrinks}  "
             f"reshard_restores={self.reshard_restores}"
+        )
+
+
+class TelemetryCounters:
+    """Emission / workspace counters of a :class:`repro.telemetry.RunRecorder`.
+
+    ``records``/``events``/``bytes_written``/``flushes`` move with the
+    stream; ``overhead_seconds`` accumulates the recorder's own wall
+    time (the numerator of the <1%-per-step overhead budget).
+    ``workspace_allocs`` counts recorder-owned scratch entries (the
+    reused record dict, per-section delta slots, counter-delta slots)
+    and must freeze after the first record of a warmed-up run — the
+    same zero-allocation discipline :class:`TransformCounters` enforces
+    on the transform pipeline.
+    """
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.events = 0
+        self.bytes_written = 0
+        self.flushes = 0
+        self.overhead_seconds = 0.0
+        self.workspace_allocs = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "records": self.records,
+            "events": self.events,
+            "bytes_written": self.bytes_written,
+            "flushes": self.flushes,
+            "overhead_seconds": self.overhead_seconds,
+            "workspace_allocs": self.workspace_allocs,
+        }
+
+    def report(self) -> str:
+        return (
+            f"records={self.records}  events={self.events}  "
+            f"bytes={self.bytes_written}  flushes={self.flushes}  "
+            f"overhead={self.overhead_seconds:.4f}s  "
+            f"workspace_allocs={self.workspace_allocs}"
         )

@@ -110,6 +110,11 @@ class FoldedLU:
             self._engines[b] = BandedSolveEngine(self, block=b)
         return self._engines[b]
 
+    def engines(self) -> tuple[BandedSolveEngine, ...]:
+        """Every engine built so far (never triggers a build — telemetry
+        must be able to read counters without allocating workspace)."""
+        return tuple(self._engines.values())
+
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` for each batch member.
 

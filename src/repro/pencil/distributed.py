@@ -40,6 +40,14 @@ class DistributedChannelDNS:
         driver takes.
     pa, pb:
         Process grid; ``pa * pb == comm.size``.
+    telemetry:
+        Optional structured run recording (:mod:`repro.telemetry`): a
+        directory, :class:`~repro.telemetry.TelemetryConfig` or built
+        :class:`~repro.telemetry.RunRecorder`.  Every rank writes its
+        own ``telemetry-rankNNN.jsonl`` stream and ``trace-rankNNN.json``
+        Chrome trace (merge with
+        :func:`repro.telemetry.merge_traces`); rank 0 writes the run
+        manifest.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class DistributedChannelDNS:
         pa: int,
         pb: int,
         method: TransposeMethod | None = None,
+        telemetry=None,
     ) -> None:
         if pa * pb != comm.size:
             raise ValueError(f"{pa} x {pb} != {comm.size} ranks")
@@ -90,6 +99,16 @@ class DistributedChannelDNS:
         )
         self.state: ChannelState | None = None
         self.step_count = 0
+        self.recorder = None
+        if telemetry is not None:
+            from repro.telemetry import RunRecorder
+
+            rec = (
+                telemetry
+                if isinstance(telemetry, RunRecorder)
+                else RunRecorder(telemetry, rank=comm.rank, nranks=comm.size)
+            )
+            rec.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -133,6 +152,13 @@ class DistributedChannelDNS:
         # nonlinear_products spans the whole dealiased evaluation
         self.state = self.stepper.step(self.state)
         self.step_count += 1
+        if self.recorder is not None:
+            self.recorder.record_step(self)
+
+    def finalize_telemetry(self) -> None:
+        """Close the attached recorder (summary record + final trace)."""
+        if self.recorder is not None:
+            self.recorder.close()
 
     def run(self, nsteps: int, controllers=()) -> None:
         """Advance ``nsteps``; ``controllers`` follow the serial protocol
@@ -244,6 +270,7 @@ def run_supervised_spmd(
     integrity: bool = False,
     min_ranks: int = 1,
     timers: SectionTimers | None = None,
+    telemetry=None,
 ):
     """Job-level supervised restart loop for the distributed DNS.
 
@@ -275,6 +302,12 @@ def run_supervised_spmd(
     a fresh run launched at the shrunken size from the same snapshot —
     pinned by ``tests/pencil/test_checkpoint.py`` and
     ``tests/pencil/test_elastic.py``.
+
+    ``telemetry`` (a directory or
+    :class:`~repro.telemetry.TelemetryConfig`) turns on structured run
+    recording: each attempt writes per-rank streams and traces under
+    ``<dir>/attempt-NN/``, and a job-level ``events.jsonl`` (``rank=-1``)
+    records every restart, shrink and give-up decision of this loop.
     """
     from repro.core.checkpoint import ShardedCheckpointRotation
     from repro.core.health import HealthCheckError
@@ -286,9 +319,31 @@ def run_supervised_spmd(
     if timers is None:
         timers = SectionTimers()
 
-    def _make_prog(cur_pa: int, cur_pb: int):
+    tel_cfg = None
+    job_rec = None
+    if telemetry is not None:
+        from dataclasses import replace as _replace
+
+        from repro.telemetry import RunRecorder, TelemetryConfig
+
+        tel_cfg = TelemetryConfig.coerce(telemetry)
+        job_rec = RunRecorder(tel_cfg, rank=-1, nranks=nranks)
+
+    def _make_prog(cur_pa: int, cur_pb: int, cur_attempt: int):
+        if tel_cfg is not None:
+            import pathlib as _pathlib
+
+            attempt_tel = _replace(
+                tel_cfg,
+                directory=_pathlib.Path(tel_cfg.directory) / f"attempt-{cur_attempt:02d}",
+            )
+        else:
+            attempt_tel = None
+
         def _prog(comm: Communicator):
-            dns = DistributedChannelDNS(comm, config, pa=cur_pa, pb=cur_pb, method=method)
+            dns = DistributedChannelDNS(
+                comm, config, pa=cur_pa, pb=cur_pb, method=method, telemetry=attempt_tel
+            )
             rotation = ShardedCheckpointRotation(
                 checkpoint_dir, keep=keep, counters=counters
             )
@@ -303,68 +358,117 @@ def run_supervised_spmd(
             else:
                 dns.initialize()
                 rotation.save(dns)  # baseline: a restart must have a target
+            if counters is not None and dns.recorder is not None:
+                dns.recorder.set_recovery_counters(counters)
             monitor = monitor_factory() if monitor_factory is not None else None
-            while dns.step_count < n_steps:
-                dns.step()
-                if monitor is not None:
-                    monitor(dns)
-                if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
-                    rotation.save(dns)
-            return dns.gather_state()
+            try:
+                while dns.step_count < n_steps:
+                    dns.step()
+                    if monitor is not None:
+                        monitor(dns)
+                    if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
+                        rotation.save(dns)
+                return dns.gather_state()
+            finally:
+                # runs on the failure path too, so a crashed attempt still
+                # leaves a summary record behind for the post-mortem
+                dns.finalize_telemetry()
 
         return _prog
 
     cur_n, cur_pa, cur_pb = nranks, pa, pb
     attempt = 0
     restarts_used = 0
-    while True:
-        plan = fault_plans[attempt] if attempt < len(fault_plans) else None
-        try:
-            results = run_spmd(
-                cur_n,
-                _make_prog(cur_pa, cur_pb),
-                timeout=timeout,
-                fault_plan=plan,
-                elastic=elastic,
-                integrity=integrity,
-            )
-            return results[0], log
-        except ShrinkRequired as exc:
-            nsurv = len(exc.survivors)
-            if nsurv < min_ranks:
-                raise
-            with timers.section(SectionTimers.ELASTIC):
-                mx = config.nx // 2
-                mz = config.nz - 1
-                new_pa, new_pb = choose_grid(nsurv, mx, mz, config.ny)
-            log.append(
-                RecoveryEvent(
-                    step=-1,
-                    kind="shrink",
-                    detail=(
-                        f"{exc}; re-planned {cur_pa}x{cur_pb} -> "
-                        f"{new_pa}x{new_pb} on {nsurv} ranks"
-                    ),
-                    attempt=attempt,
-                    info={"ranks": nsurv, "pa": new_pa, "pb": new_pb},
+    try:
+        while True:
+            plan = fault_plans[attempt] if attempt < len(fault_plans) else None
+            try:
+                results = run_spmd(
+                    cur_n,
+                    _make_prog(cur_pa, cur_pb, attempt),
+                    timeout=timeout,
+                    fault_plan=plan,
+                    elastic=elastic,
+                    integrity=integrity,
                 )
-            )
-            if counters is not None:
-                counters.shrinks += 1
-            cur_n, cur_pa, cur_pb = nsurv, new_pa, new_pb
-            attempt += 1
-        except (SimMPIError, RankFailure, HealthCheckError) as exc:
-            log.append(
-                RecoveryEvent(
-                    step=getattr(exc, "step", None) or -1,
-                    kind="restart",
-                    detail=f"{type(exc).__name__}: {exc}",
-                    attempt=attempt,
+                if job_rec is not None:
+                    job_rec.record_event(
+                        "complete",
+                        step=n_steps,
+                        detail=f"finished on {cur_n} ranks ({cur_pa}x{cur_pb})",
+                        attempt=attempt,
+                        info={"ranks": cur_n, "restarts": restarts_used},
+                    )
+                return results[0], log
+            except ShrinkRequired as exc:
+                nsurv = len(exc.survivors)
+                if nsurv < min_ranks:
+                    if job_rec is not None:
+                        job_rec.record_event(
+                            "giving_up",
+                            step=-1,
+                            detail=f"{nsurv} survivors < min_ranks={min_ranks}",
+                            attempt=attempt,
+                            info={"ranks": nsurv},
+                        )
+                    raise
+                with timers.section(SectionTimers.ELASTIC):
+                    mx = config.nx // 2
+                    mz = config.nz - 1
+                    new_pa, new_pb = choose_grid(nsurv, mx, mz, config.ny)
+                detail = (
+                    f"{exc}; re-planned {cur_pa}x{cur_pb} -> "
+                    f"{new_pa}x{new_pb} on {nsurv} ranks"
                 )
-            )
-            if counters is not None:
-                counters.restarts += 1
-            attempt += 1
-            restarts_used += 1
-            if restarts_used > max_restarts:
-                raise
+                log.append(
+                    RecoveryEvent(
+                        step=-1,
+                        kind="shrink",
+                        detail=detail,
+                        attempt=attempt,
+                        info={"ranks": nsurv, "pa": new_pa, "pb": new_pb},
+                    )
+                )
+                if job_rec is not None:
+                    job_rec.record_event(
+                        "shrink",
+                        step=-1,
+                        detail=detail,
+                        attempt=attempt,
+                        info={"ranks": nsurv, "pa": new_pa, "pb": new_pb},
+                    )
+                if counters is not None:
+                    counters.shrinks += 1
+                cur_n, cur_pa, cur_pb = nsurv, new_pa, new_pb
+                attempt += 1
+            except (SimMPIError, RankFailure, HealthCheckError) as exc:
+                step = getattr(exc, "step", None) or -1
+                detail = f"{type(exc).__name__}: {exc}"
+                log.append(
+                    RecoveryEvent(step=step, kind="restart", detail=detail, attempt=attempt)
+                )
+                if counters is not None:
+                    counters.restarts += 1
+                restarts_used += 1
+                if restarts_used > max_restarts:
+                    if job_rec is not None:
+                        job_rec.record_event(
+                            "giving_up",
+                            step=step,
+                            detail=f"restart budget exhausted after {detail}",
+                            attempt=attempt,
+                            info={"restarts": restarts_used, "max_restarts": max_restarts},
+                        )
+                    raise
+                if job_rec is not None:
+                    job_rec.record_event(
+                        "restart",
+                        step=step,
+                        detail=detail,
+                        attempt=attempt,
+                        info={"restarts": restarts_used, "max_restarts": max_restarts},
+                    )
+                attempt += 1
+    finally:
+        if job_rec is not None:
+            job_rec.close()

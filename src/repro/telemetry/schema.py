@@ -1,0 +1,162 @@
+"""JSON-lines schema of the run telemetry stream.
+
+One stream file (``telemetry.jsonl`` serial, ``telemetry-rankNNN.jsonl``
+per rank in SPMD runs) holds one JSON object per line.  Every record
+carries ``type`` and ``schema``; the run manifest is a sibling
+``manifest.json`` file, not a stream record, so the stream stays
+homogeneous and appendable.
+
+The field-by-field contract lives in :data:`STEP_FIELDS`,
+:data:`EVENT_FIELDS` and :data:`SUMMARY_FIELDS` — each maps a field
+name to ``(required, description)`` and is rendered verbatim into
+``docs/observability.md``.  :func:`validate_record` enforces it;
+:func:`read_stream` parses a file back into dicts.  Bump
+:data:`SCHEMA_VERSION` whenever a field changes meaning or a required
+field is added.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterator
+
+#: version stamped into every record and the manifest
+SCHEMA_VERSION = 1
+
+#: record types a stream may contain
+RECORD_TYPES = ("step", "event", "summary")
+
+#: ``type: "step"`` — one per recorded timestep (cadence ``every``)
+STEP_FIELDS: dict[str, tuple[bool, str]] = {
+    "type": (True, 'constant "step"'),
+    "schema": (True, "schema version of this record (integer)"),
+    "step": (True, "driver step count after this step"),
+    "time": (True, "simulation time after this step (channel half-widths / u_tau)"),
+    "dt": (True, "timestep used for this step"),
+    "wall_s": (True, "wall-clock seconds since the previous record (recorder overhead excluded)"),
+    "cfl": (
+        True,
+        "advective CFL number of the last substep (global max in SPMD runs); null when the "
+        "state has gone non-finite",
+    ),
+    "divergence": (
+        True,
+        "max collocated spectral divergence, on the divergence_every cadence; null between "
+        "samples and when non-finite",
+    ),
+    "rank": (True, "emitting rank (0 in serial runs)"),
+    "nranks": (True, "world size of the run (1 in serial runs)"),
+    "sections": (
+        True,
+        'per-section deltas since the previous record: {name: {"s": seconds, "calls": n}} '
+        "over the SectionTimers names (transpose, fft, ns_advance, nonlinear_products, "
+        "solve [nested in ns_advance], reorder, checkpoint, recovery, elastic)",
+    ),
+    "transforms": (
+        False,
+        "TransformCounters deltas of the transform pipeline (transforms, fields_forward, "
+        "fields_backward, workspace_bytes, workspace_allocs); absent when the backend "
+        "exposes no counters (e.g. the pencil pipeline)",
+    ),
+    "solve": (
+        False,
+        "aggregated SolveCounters deltas over every built solve engine (solves, sweeps, "
+        "columns, workspace_bytes, workspace_allocs); absent when the stepper exposes none",
+    ),
+    "recovery": (
+        False,
+        "RecoveryCounters deltas (checkpoints_saved/pruned, verify_failures, failures, "
+        "rollbacks, restarts, dt_reductions, shrinks, reshard_restores); absent until "
+        "recovery counters are wired in (supervised runs)",
+    ),
+    "mpi": (
+        False,
+        "SimMPI MessageStats deltas {messages, bytes}; the stats object is shared by the "
+        "communicator context, so the numbers are world totals (identical on every rank); "
+        "absent in serial runs",
+    ),
+}
+
+#: ``type: "event"`` — recovery / lifecycle events, one per occurrence
+EVENT_FIELDS: dict[str, tuple[bool, str]] = {
+    "type": (True, 'constant "event"'),
+    "schema": (True, "schema version of this record (integer)"),
+    "t_unix": (True, "unix wall-clock timestamp of the event (seconds)"),
+    "step": (True, "driver step count when the event fired (-1 when unknown/job-level)"),
+    "kind": (
+        True,
+        "event kind: failure | rollback | dt_reduction | restart | shrink | giving_up | "
+        "attach | soak_result | soak_summary | custom kinds",
+    ),
+    "detail": (True, "human-readable one-liner"),
+    "attempt": (True, "retry attempt index the event belongs to (0 outside retry loops)"),
+    "info": (True, "structured extras, e.g. a shrink's {ranks, pa, pb} (object, may be empty)"),
+    "rank": (True, "emitting rank (-1 for job-level supervisors outside the SPMD program)"),
+    "nranks": (True, "world size of the run"),
+}
+
+#: ``type: "summary"`` — last record of a cleanly closed stream
+SUMMARY_FIELDS: dict[str, tuple[bool, str]] = {
+    "type": (True, 'constant "summary"'),
+    "schema": (True, "schema version of this record (integer)"),
+    "steps": (True, "steps recorded into this stream"),
+    "records": (True, "step records written"),
+    "events": (True, "event records written"),
+    "wall_s": (True, "total wall seconds covered by the step records"),
+    "sections": (True, 'cumulative per-section totals {name: {"s": seconds, "calls": n}}'),
+    "overhead_s": (True, "recorder self-time (stream + trace emission)"),
+    "overhead_frac": (
+        True,
+        "overhead_s / wall_s — the measured recorder overhead (budget: < 0.01); null when "
+        "no step was recorded",
+    ),
+    "rank": (True, "emitting rank"),
+    "nranks": (True, "world size of the run"),
+}
+
+_FIELDS = {"step": STEP_FIELDS, "event": EVENT_FIELDS, "summary": SUMMARY_FIELDS}
+
+
+def validate_record(rec: dict) -> None:
+    """Raise ``ValueError`` unless ``rec`` conforms to the schema."""
+    if not isinstance(rec, dict):
+        raise ValueError(f"record must be an object, got {type(rec).__name__}")
+    rtype = rec.get("type")
+    if rtype not in _FIELDS:
+        raise ValueError(f"unknown record type {rtype!r} (expected one of {RECORD_TYPES})")
+    fields = _FIELDS[rtype]
+    for name, (required, _) in fields.items():
+        if required and name not in rec:
+            raise ValueError(f"{rtype} record missing required field {name!r}")
+    unknown = set(rec) - set(fields)
+    if unknown:
+        raise ValueError(f"{rtype} record has undocumented fields {sorted(unknown)}")
+    if rec["schema"] != SCHEMA_VERSION:
+        raise ValueError(f"schema version {rec['schema']} != {SCHEMA_VERSION}")
+    if rtype == "step":
+        sections = rec["sections"]
+        if not isinstance(sections, dict):
+            raise ValueError("sections must be an object")
+        for name, cell in sections.items():
+            if set(cell) != {"s", "calls"}:
+                raise ValueError(f"section {name!r} must hold exactly {{s, calls}}")
+
+
+def read_stream(path, *, validate: bool = True) -> Iterator[dict]:
+    """Yield the records of a JSON-lines telemetry stream."""
+    with open(pathlib.Path(path), encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if validate:
+                try:
+                    validate_record(rec)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            yield rec

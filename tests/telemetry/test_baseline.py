@@ -1,0 +1,140 @@
+"""Perf-regression harness: record/check round-trip, injected-slowdown
+self-test, the committed baseline file, and the CLI."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.telemetry.baseline import (
+    DEFAULT_BASELINE,
+    HOT_PATH_CASES,
+    BenchCase,
+    check_against,
+    format_check_report,
+    load_baselines,
+    measure,
+    record_baselines,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+# fast synthetic cases: the harness logic is under test, not the hot paths
+FAST_CASES = (
+    BenchCase("noop_a", lambda: (lambda: None), guards="test case a"),
+    BenchCase("noop_b", lambda: (lambda: sum(range(50))), guards="test case b"),
+)
+
+FAST = dict(repeats=3, min_time=0.005)
+
+
+def _pad_baseline(path, factor=3.0):
+    """Slow the recorded baseline down by `factor`.
+
+    Checks against the padded file pin the harness logic regardless of
+    machine load: a pass needs only "not `factor`x slower than recorded",
+    and an injected slowdown beyond `factor` still fails.
+    """
+    doc = json.loads(path.read_text())
+    for case in doc["cases"].values():
+        case["median_s"] *= factor
+        case["normalized"] *= factor
+    path.write_text(json.dumps(doc))
+
+
+def test_measure_shape():
+    doc = measure(FAST_CASES, **FAST)
+    assert doc["calibration_s"] > 0
+    assert set(doc["cases"]) == {"noop_a", "noop_b"}
+    for case in doc["cases"].values():
+        assert case["median_s"] > 0
+        assert case["normalized"] == pytest.approx(case["median_s"] / doc["calibration_s"])
+
+
+def test_record_then_check_passes(tmp_path):
+    path = tmp_path / "baselines.json"
+    doc = record_baselines(path, FAST_CASES, **FAST)
+    assert load_baselines(path) == doc
+    _pad_baseline(path)
+    results = check_against(load_baselines(path), cases=FAST_CASES, **FAST)
+    assert all(r.status in ("ok", "improved") for r in results)
+
+
+def test_injected_slowdown_is_detected(tmp_path):
+    path = tmp_path / "baselines.json"
+    record_baselines(path, FAST_CASES, **FAST)
+    _pad_baseline(path)
+    results = check_against(
+        load_baselines(path), cases=FAST_CASES, inject_slowdown=20.0, **FAST
+    )
+    regressed = [r for r in results if r.status == "regressed"]
+    assert regressed, results
+    # the report names the case and quantifies the change in percent
+    report = format_check_report(results, tolerance=0.10)
+    assert "FAIL" in report
+    assert regressed[0].name in report
+    assert "%" in report
+    for r in regressed:
+        assert r.change > 0.10
+
+
+def test_new_case_is_not_a_failure(tmp_path):
+    path = tmp_path / "baselines.json"
+    record_baselines(path, FAST_CASES[:1], **FAST)
+    _pad_baseline(path)
+    results = check_against(load_baselines(path), cases=FAST_CASES, **FAST)
+    by_name = {r.name: r for r in results}
+    assert by_name["noop_b"].status == "new"
+    assert "OK" in format_check_report(results, tolerance=0.10)
+
+
+def test_committed_baseline_is_valid():
+    doc = load_baselines(DEFAULT_BASELINE)
+    assert set(doc["cases"]) == {c.name for c in HOT_PATH_CASES}
+    for case in doc["cases"].values():
+        assert case["median_s"] > 0 and case["normalized"] > 0
+    assert 0 < doc["tolerance"] < 1
+
+
+def test_check_perf_cli_inject_slowdown_fails(tmp_path):
+    """End-to-end: the script exits non-zero on an injected slowdown.
+
+    Records a baseline in-process, then pads it 3x slower than measured:
+    the plain run passes unless this machine slowed >3x between record
+    and check, and the 20x injected run fails unless it sped up >6x —
+    both far outside any plausible load jitter, so the exit codes pin
+    the script's logic, not the box's weather.
+    """
+    path = tmp_path / "baselines.json"
+    record_baselines(path, HOT_PATH_CASES, repeats=3, min_time=0.02)
+    _pad_baseline(path)
+    script = REPO / "scripts" / "check_perf.py"
+    common = [sys.executable, str(script), "--baseline", str(path),
+              "--repeats", "3", "--min-time", "0.02"]
+    ok = subprocess.run(common, capture_output=True, text=True)
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    bad = subprocess.run(common + ["--inject-slowdown", "20.0"],
+                         capture_output=True, text=True)
+    assert bad.returncode == 1, bad.stdout + bad.stderr
+    assert "FAIL" in bad.stdout
+    # report mode never fails, even with the slowdown injected
+    rep = subprocess.run(common + ["--inject-slowdown", "20.0", "--report"],
+                         capture_output=True, text=True)
+    assert rep.returncode == 0, rep.stdout + rep.stderr
+
+
+def test_missing_baseline_exit_codes(tmp_path):
+    script = REPO / "scripts" / "check_perf.py"
+    missing = tmp_path / "nope.json"
+    out = subprocess.run(
+        [sys.executable, str(script), "--baseline", str(missing)],
+        capture_output=True, text=True,
+    )
+    assert out.returncode == 2
+    out = subprocess.run(
+        [sys.executable, str(script), "--baseline", str(missing), "--report"],
+        capture_output=True, text=True,
+    )
+    assert out.returncode == 0

@@ -1,0 +1,43 @@
+"""Run manifest: fingerprints, contents, round-trip."""
+
+from repro.core.solver import ChannelConfig
+from repro.telemetry.manifest import (
+    MANIFEST_NAME,
+    build_manifest,
+    config_fingerprint,
+    read_manifest,
+    write_manifest,
+)
+
+
+def test_fingerprint_is_stable_and_discriminating():
+    a = ChannelConfig(nx=16, ny=17, nz=16)
+    _, fp1 = config_fingerprint(a)
+    _, fp2 = config_fingerprint(ChannelConfig(nx=16, ny=17, nz=16))
+    _, fp3 = config_fingerprint(ChannelConfig(nx=32, ny=17, nz=16))
+    assert fp1 == fp2
+    assert fp1 != fp3
+
+
+def test_fingerprint_accepts_dict_and_none():
+    d, fp = config_fingerprint({"nx": 8})
+    assert d == {"nx": 8} and len(fp) == 64
+    d, _ = config_fingerprint(None)
+    assert d == {}
+
+
+def test_manifest_contents(tmp_path):
+    cfg = ChannelConfig(nx=16, ny=17, nz=16, dt=3e-4)
+    doc = build_manifest(cfg, nranks=4, grid=(2, 2), extra={"campaign": "t1"})
+    assert doc["config"]["nx"] == 16
+    assert doc["config"]["dt"] == 3e-4
+    assert doc["nranks"] == 4
+    assert doc["process_grid"] == [2, 2]
+    assert doc["extra"] == {"campaign": "t1"}
+    assert set(doc["versions"]) >= {"python", "numpy"}
+    assert "platform" in doc["machine"]
+    assert "rev" in doc["git"]  # may be None outside a work tree, but present
+
+    write_manifest(tmp_path, doc)
+    assert (tmp_path / MANIFEST_NAME).exists()
+    assert read_manifest(tmp_path) == doc

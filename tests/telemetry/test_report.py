@@ -1,0 +1,64 @@
+"""Stream → Table-9/10 breakdown regeneration."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.solver import ChannelConfig, ChannelDNS
+from repro.instrument import SectionTimers
+from repro.telemetry.report import breakdown, format_breakdown
+
+CFG = ChannelConfig(nx=16, ny=17, nz=16, dt=2e-4, seed=3, init_amplitude=0.5)
+
+
+@pytest.fixture(scope="module")
+def stream(tmp_path_factory):
+    tel = tmp_path_factory.mktemp("tel")
+    dns = ChannelDNS(CFG, telemetry=tel)
+    dns.initialize()
+    dns.run(5)
+    dns.finalize_telemetry()
+    return tel / "telemetry.jsonl"
+
+
+def test_breakdown_statistics(stream):
+    result = breakdown(stream)
+    assert result["steps"] == 5
+    assert result["wall_s"] > 0
+    adv = result["sections"]["ns_advance"]
+    assert adv["median_s"] > 0
+    assert adv["total_s"] == pytest.approx(adv["mean_s"] * 5)
+    assert adv["calls"] > 0
+    # shares over the non-nested sections sum to one
+    shares = sum(
+        s["share"]
+        for name, s in result["sections"].items()
+        if name not in SectionTimers.NESTED
+    )
+    assert shares == pytest.approx(1.0)
+    # the nested solve section is reported but outside the denominator
+    assert "solve" in result["sections"]
+    assert result["summary"]["overhead_frac"] is not None
+
+
+def test_format_breakdown_paper_columns(stream):
+    text = format_breakdown(breakdown(stream))
+    lines = text.splitlines()
+    assert "5 steps" in lines[0]
+    names = [ln.split()[0] for ln in lines[2:] if ln.split()]
+    # Table 9/10 order puts ns_advance before the alphabetical extras
+    assert names.index("ns_advance") < names.index("nonlinear_products")
+    assert "(nested)" in text  # solve flagged as nested
+    assert "recorder overhead" in text
+    assert "budget < 1%" in text
+
+
+def test_report_cli(stream):
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.telemetry.report", str(stream)],
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "ns_advance" in out.stdout

@@ -1,0 +1,85 @@
+"""TraceWriter: Chrome trace-event validity, capping, merging."""
+
+import json
+import time
+
+from repro.instrument import SectionTimers
+from repro.telemetry.trace import TraceWriter, merge_traces
+
+
+def test_trace_file_is_valid_chrome_json(tmp_path):
+    tw = TraceWriter(pid=0, process_name="dns")
+    with tw.span("outer"):
+        with tw.span("inner"):
+            pass
+    tw.instant("marker")
+    path = tw.write(tmp_path / "trace.json")
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert meta[0]["args"]["name"] == "dns"
+    assert {e["name"] for e in spans} == {"outer", "inner", "marker"}
+    for e in spans:
+        assert e["ts"] >= 0.0
+        assert e["dur"] >= 0.0
+        assert e["pid"] == 0
+    # spans are appended at completion: end times never go backwards
+    ends = [e["ts"] + e["dur"] for e in spans]
+    assert ends == sorted(ends)
+
+
+def test_nesting_by_time_containment():
+    tw = TraceWriter()
+    with tw.span("step"):
+        with tw.span("solve"):
+            time.sleep(0.001)
+    by_name = {e["name"]: e for e in tw.events()}
+    inner, outer = by_name["solve"], by_name["step"]
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+
+def test_section_timers_feed_tracer():
+    timers = SectionTimers()
+    tw = TraceWriter()
+    timers.tracer = tw
+    with timers.section(SectionTimers.FFT):
+        pass
+    with timers.section(SectionTimers.SOLVE):
+        pass
+    assert {e["name"] for e in tw.events()} == {SectionTimers.FFT, SectionTimers.SOLVE}
+    # detaching stops collection without touching the timers
+    timers.tracer = None
+    with timers.section(SectionTimers.FFT):
+        pass
+    assert len(tw) == 2
+    assert timers.calls[SectionTimers.FFT] == 2
+
+
+def test_max_events_cap_drops_not_grows():
+    tw = TraceWriter(max_events=3)
+    for i in range(10):
+        tw.instant(f"e{i}")
+    assert len(tw) == 3
+    assert tw.dropped == 7
+    doc_events = tw.events()
+    assert len(doc_events) == 3
+
+
+def test_merge_traces_keeps_rank_lanes(tmp_path):
+    paths = []
+    for rank in range(2):
+        tw = TraceWriter(pid=rank, process_name=f"rank {rank}")
+        with tw.span("step"):
+            pass
+        paths.append(tw.write(tmp_path / f"trace-rank{rank:03d}.json"))
+    merged = merge_traces(paths, tmp_path / "merged.json")
+    doc = json.loads(merged.read_text())
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["pid"] for e in spans} == {0, 1}
+    # each file is re-based to its own earliest span
+    for rank in range(2):
+        assert min(e["ts"] for e in spans if e["pid"] == rank) == 0.0
+    assert doc["otherData"]["inputs"] == 2
