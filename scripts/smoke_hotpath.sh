@@ -108,6 +108,10 @@ print("trajectory identity OK")
 EOF
 
 echo
+echo "== overlap micro-benchmark: pipelined vs synchronous pencil transposes =="
+python -m pytest benchmarks/bench_overlap_transpose.py -q --benchmark-disable
+
+echo
 echo "== telemetry smoke: stream + manifest + trace, < 1% recorder overhead =="
 python scripts/telemetry_smoke.py --out "$(mktemp -d)/telemetry" --steps 40
 

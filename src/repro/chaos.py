@@ -80,14 +80,18 @@ def random_fault_plan(
     max_events: int = 3,
     max_call: int = 60,
     delay: float = 0.02,
+    ops: tuple[str | None, ...] = SOAK_OPS,
 ) -> FaultPlan:
     """Seeded random fault schedule: deterministic per ``(seed, nranks)``.
 
-    Draws 1..``max_events`` events over :data:`SOAK_OPS` x
-    :data:`SOAK_ACTIONS` with call indices in ``[0, max_call)``.  Kills
-    are capped at ``nranks - 1`` per plan so one epoch can never lose
-    every rank at once (the stack still tolerates a lone rank dying —
-    that surfaces as a restart, not a shrink).
+    Draws 1..``max_events`` events over ``ops`` (default
+    :data:`SOAK_OPS`) x :data:`SOAK_ACTIONS` with call indices in
+    ``[0, max_call)``.  Kills are capped at ``nranks - 1`` per plan so
+    one epoch can never lose every rank at once (the stack still
+    tolerates a lone rank dying — that surfaces as a restart, not a
+    shrink).  Passing a different ``ops`` tuple retargets the sweep —
+    e.g. at the nonblocking ``ialltoall``/``isend`` path — without
+    perturbing the default schedules existing seeds pin down.
     """
     rng = np.random.default_rng(seed)
     n_events = int(rng.integers(1, max_events + 1))
@@ -103,7 +107,7 @@ def random_fault_plan(
             FaultEvent(
                 action=action,
                 rank=int(rng.integers(0, nranks)),
-                op=SOAK_OPS[int(rng.integers(0, len(SOAK_OPS)))],
+                op=ops[int(rng.integers(0, len(ops)))],
                 call=int(rng.integers(0, max_call)),
                 delay=delay,
             )
@@ -144,6 +148,7 @@ def run_chaos_soak(
     timeout: float | None = None,
     verbose: bool = False,
     telemetry=None,
+    method=None,
 ) -> list[SoakResult]:
     """Run one elastic supervised job per seed and classify every outcome.
 
@@ -159,6 +164,10 @@ def run_chaos_soak(
     top-level ``events.jsonl`` gets one ``soak_result`` event per seed
     plus a final ``soak_summary``, and each seed's supervised job writes
     its full per-attempt streams under ``<dir>/soak-NNNNN/``.
+
+    ``method`` (a :class:`~repro.pencil.transpose.TransposeMethod`) pins
+    the transpose implementation of every attempt — e.g. ``PIPELINED``
+    to soak the nonblocking/overlap path under faults.
     """
     from repro.pencil.decomp import choose_grid
     from repro.pencil.distributed import run_supervised_spmd
@@ -207,6 +216,7 @@ def run_chaos_soak(
                     elastic=True,
                     integrity=True,
                     telemetry=seed_tel,
+                    method=method,
                 )
             except Exception as exc:  # noqa: BLE001 - classified, not propagated
                 hung = "timed out" in str(exc)

@@ -12,6 +12,15 @@ allocated, transforms executed and per-stage wall time.  The workspace
 counters are how the zero-allocation property of the hot path is
 asserted — after warm-up, repeated substeps must not grow them.
 
+:class:`OverlapCounters` is the communication/compute overlap
+bookkeeping of the pipelined transposes
+(:class:`repro.pencil.transpose.PipelinedTranspose`): bytes posted
+through nonblocking exchanges, bytes already delivered when the wait
+first checked (fully hidden communication), time blocked in waits and
+compute seconds executed while an exchange was in flight.  The matching
+``OVERLAP`` timer section is *nested* — it measures FFT time hidden
+inside the transpose section, not additional time.
+
 :class:`SolveCounters` is the same discipline for the batched banded
 solve engine (:mod:`repro.linalg.engine`): engine-owned workspace is
 counted once at construction and must stay frozen across steady-state
@@ -72,9 +81,13 @@ class SectionTimers:
     #: elastic-recovery section: survivor re-planning and reshard restores
     #: after a shrink (disjoint, like CHECKPOINT/RECOVERY)
     ELASTIC = "elastic"
+    #: compute executed while a nonblocking exchange was in flight (the
+    #: pipelined transposes run FFT slabs inside the transpose section,
+    #: so this is nested — it measures hidden time, not extra time)
+    OVERLAP = "overlap"
 
     #: sections nested inside another section (not added to the total)
-    NESTED = frozenset({SOLVE})
+    NESTED = frozenset({SOLVE, OVERLAP})
 
     def __init__(self) -> None:
         self.elapsed: dict[str, float] = defaultdict(float)
@@ -173,6 +186,58 @@ class TransformCounters:
         ]
         parts += [f"{k}={v:.4f}s" for k, v in sorted(self.stage_seconds.items())]
         return "  ".join(parts)
+
+
+class OverlapCounters:
+    """Communication/compute overlap accounting of the pipelined transposes.
+
+    ``bytes_posted`` counts off-rank payload posted through nonblocking
+    exchanges, ``bytes_completed`` the portion whose requests finished,
+    and ``bytes_overlapped`` the portion already delivered when the wait
+    first checked — communication fully hidden behind the FFT compute
+    that ran between post and wait.  ``wait_seconds`` is time blocked in
+    ``Request.wait`` (exposed comm), ``overlap_seconds`` compute executed
+    while an exchange was in flight (hidden comm window).  ``posts`` and
+    ``waits`` count the staged exchanges.
+    """
+
+    def __init__(self) -> None:
+        self.posts = 0
+        self.waits = 0
+        self.bytes_posted = 0
+        self.bytes_completed = 0
+        self.bytes_overlapped = 0
+        self.wait_seconds = 0.0
+        self.overlap_seconds = 0.0
+
+    def hidden_fraction(self) -> float:
+        """Fraction of completed exchange bytes fully hidden behind compute."""
+        if not self.bytes_completed:
+            return 0.0
+        return self.bytes_overlapped / self.bytes_completed
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "posts": self.posts,
+            "waits": self.waits,
+            "bytes_posted": self.bytes_posted,
+            "bytes_completed": self.bytes_completed,
+            "bytes_overlapped": self.bytes_overlapped,
+            "wait_seconds": self.wait_seconds,
+            "overlap_seconds": self.overlap_seconds,
+        }
+
+    def report(self) -> str:
+        return (
+            f"posts={self.posts}  waits={self.waits}  "
+            f"bytes={self.bytes_posted} posted/{self.bytes_overlapped} overlapped "
+            f"({self.hidden_fraction():.0%} hidden)  "
+            f"wait={self.wait_seconds:.4f}s  overlap={self.overlap_seconds:.4f}s"
+        )
 
 
 class SolveCounters:

@@ -40,6 +40,24 @@ All timeouts derive from one env-overridable default
 timeout uses it directly, the :func:`run_spmd` join timeout is
 ``JOIN_TIMEOUT_FACTOR`` times it, and the agreement round waits at most
 one default before freezing a decision among the ranks that checked in.
+
+A nonblocking layer mirrors MPI-3's request model for the pipelined
+pencil transposes: :meth:`Communicator.ialltoall` /
+:meth:`Communicator.ialltoallv`, :meth:`Communicator.isend` and
+:meth:`Communicator.irecv` return :class:`Request` handles with
+``test`` / ``wait`` (plus module-level :func:`waitall`).  Posting is
+queue-based and never blocks on peers — no barrier is involved — so a
+rank can run FFT compute between the post and the wait.  Faults and
+integrity compose exactly like the blocking calls, with MPI's deferred
+error semantics: the checksum window still closes *before* the
+injection point, but an injected ``kill``/``delay`` surfaces at
+``wait``/``test`` time (:meth:`FaultPlan.apply_deferred`), and a
+``corrupt``/``drop`` travels with the payload to be detected by every
+receiver's ``wait``.  Because payloads move by reference, the buffer a
+rank posted belongs to its receivers until they complete: receivers
+acknowledge each consumed chunk at ``wait`` time and a sender calls
+:meth:`Request.wait_acks` before refilling a staging buffer (the
+credit protocol the double-buffered pipelined transpose runs on).
 """
 
 from __future__ import annotations
@@ -223,8 +241,8 @@ class FaultPlan:
         self._lock = threading.Lock()
         self.triggered: list[dict] = []
 
-    def apply(self, world_rank: int, op: str, payload: Any) -> Any:
-        """Run the plan for one operation; returns the (possibly faulted) payload."""
+    def _match(self, world_rank: int, op: str) -> list[tuple[int, FaultEvent]]:
+        """Advance the per-event call counters; return the events firing now."""
         fired: list[tuple[int, FaultEvent]] = []
         with self._lock:
             for i, e in enumerate(self.events):
@@ -237,7 +255,11 @@ class FaultPlan:
                     self.triggered.append(
                         {"action": e.action, "rank": world_rank, "op": op, "call": seen}
                     )
-        for i, e in fired:
+        return fired
+
+    def apply(self, world_rank: int, op: str, payload: Any) -> Any:
+        """Run the plan for one operation; returns the (possibly faulted) payload."""
+        for i, e in self._match(world_rank, op):
             if e.action == "kill":
                 raise RankFailure(world_rank, op, e.call)
             if e.action == "delay":
@@ -248,6 +270,31 @@ class FaultPlan:
                 rng = np.random.default_rng([self.seed, world_rank, i])
                 payload = _corrupt_payload(payload, rng)
         return payload
+
+    def apply_deferred(
+        self, world_rank: int, op: str, payload: Any
+    ) -> tuple[Any, "RankFailure | None", float]:
+        """Run the plan for a *nonblocking* operation (MPI deferred semantics).
+
+        Payload faults (``corrupt``/``drop``) are applied immediately —
+        they travel with the posted message — but ``kill`` and ``delay``
+        are *returned* as ``(payload, kill_exc, delay_seconds)`` so the
+        :class:`Request` can raise/stall at ``wait``/``test`` time, the
+        point where a real nonblocking failure surfaces.
+        """
+        kill: RankFailure | None = None
+        delay = 0.0
+        for i, e in self._match(world_rank, op):
+            if e.action == "kill":
+                kill = kill or RankFailure(world_rank, op, e.call)
+            elif e.action == "delay":
+                delay += e.delay
+            elif e.action == "drop":
+                payload = _DroppedPayload(world_rank, op)
+            elif e.action == "corrupt":
+                rng = np.random.default_rng([self.seed, world_rank, i])
+                payload = _corrupt_payload(payload, rng)
+        return payload, kill, delay
 
 
 def _flip_byte(arr: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -440,20 +487,30 @@ class _Context:
         self.domain = domain if domain is not None else _FailureDomain()
         self.domain.register(self.barrier)
         self.fault_plan: FaultPlan | None = None
-        self.queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self.queues: dict[tuple[int, int, Any], queue.Queue] = {}
         self.stats = MessageStats()
         self._scratch: dict[str, Any] = {}
+        # per-local-rank nonblocking sequence counters: each rank thread
+        # only touches its own dict, so no lock is needed.  SPMD-
+        # deterministic programs issue matching ops in the same order on
+        # every rank, which is what aligns the sequence-tagged queues.
+        self._nb_seq: list[dict[Any, int]] = [{} for _ in range(size)]
 
     @property
     def error(self) -> threading.Event:
         return self.domain.error
 
-    def queue_for(self, src: int, dst: int, tag: int) -> queue.Queue:
+    def queue_for(self, src: int, dst: int, tag: Any) -> queue.Queue:
         key = (src, dst, tag)
         with self.lock:
             if key not in self.queues:
                 self.queues[key] = queue.Queue()
             return self.queues[key]
+
+    def next_seq(self, rank: int, key: Any) -> int:
+        seq = self._nb_seq[rank].get(key, 0)
+        self._nb_seq[rank][key] = seq + 1
+        return seq
 
     def sync(self, op: str = "collective", world_rank: int | None = None) -> None:
         if self.domain.error.is_set():
@@ -470,6 +527,337 @@ class _Context:
 
     def abort(self) -> None:
         self.domain.abort()
+
+
+# ----------------------------------------------------------------------
+# nonblocking requests
+# ----------------------------------------------------------------------
+
+_POLL_S = 0.05
+
+
+class Request:
+    """Handle of an outstanding nonblocking operation (MPI_Request subset).
+
+    ``test()`` makes progress without blocking and reports completion;
+    ``wait()`` blocks — abort-responsively, like ``recv`` — until the
+    operation completes and returns its result.  Deferred faults (a
+    ``kill`` or ``delay`` injected at post time) surface here, matching
+    MPI's rule that nonblocking errors are reported at completion.
+
+    Overlap accounting: ``overlapped_bytes`` counts payload bytes that
+    were already delivered when the request first had to check — i.e.
+    communication fully hidden behind whatever compute ran between post
+    and wait — and ``waited_s`` accumulates time spent blocked inside
+    ``wait``.  ``posted_bytes`` is the off-rank volume posted.
+    """
+
+    def __init__(self, comm: "Communicator", op: str, kill: RankFailure | None,
+                 delay: float) -> None:
+        self._comm = comm
+        self._op = op
+        self._kill = kill
+        self._ready_at = time.monotonic() + delay if delay else 0.0
+        self._done = False
+        self._result: Any = None
+        self.posted_bytes = 0
+        self.overlapped_bytes = 0
+        self.waited_s = 0.0
+
+    # -- shared plumbing -------------------------------------------------
+
+    def _check_abort(self) -> None:
+        dom = self._comm._ctx.domain
+        if dom.error.is_set():
+            raise dom.peer_error(self._op, self._comm._world_rank)
+
+    def _raise_kill(self) -> None:
+        if self._kill is not None:
+            raise self._kill
+
+    def _delay_pending(self) -> bool:
+        return bool(self._ready_at) and time.monotonic() < self._ready_at
+
+    def _timeout_fail(self, timeout: float) -> "SimMPIError":
+        exc = TimeoutError(f"{self._op} wait timed out after {timeout:g}s")
+        self._comm._ctx.fail(self._comm._world_rank, self._op, exc)
+        return SimMPIError(
+            f"{self._op} wait timed out after {timeout:g}s", op=self._op
+        )
+
+    def _progress(self) -> bool:
+        """Nonblocking progress; True when the payload side is complete."""
+        return True
+
+    def _block_for(self, seconds: float) -> None:
+        """Park until new input may be available (at most ``seconds``).
+
+        Subclasses block on one of their missing queues so a wait wakes
+        the moment a payload lands instead of on the next poll tick; the
+        ``seconds`` bound (<= ``_POLL_S``) keeps the wait abort-responsive.
+        """
+        time.sleep(seconds)
+
+    def _complete(self, out: Any) -> Any:
+        """Open/assemble the result once progress is done (may raise)."""
+        return None
+
+    # -- public API ------------------------------------------------------
+
+    def test(self) -> bool:
+        """Nonblocking completion probe (faults surface here too)."""
+        self._check_abort()
+        self._raise_kill()
+        if self._done:
+            return True
+        return self._progress() and not self._delay_pending()
+
+    def wait(self, out: Any = None, timeout: float | None = None) -> Any:
+        """Block until complete; returns the operation's result.
+
+        ``out`` optionally receives the payload in place (a preallocated
+        array for ``irecv``, a list of destination views for
+        ``ialltoall``), keeping the steady state allocation-free.
+        """
+        if self._done:
+            return self._result
+        self._check_abort()
+        self._raise_kill()
+        ctx = self._comm._ctx
+        if timeout is None:
+            timeout = ctx.domain.timeout
+        t0 = time.monotonic()
+        deadline = t0 + timeout
+        # first probe is free: anything already here overlapped with compute
+        ready = self._progress()
+        while not ready or self._delay_pending():
+            self._check_abort()
+            if time.monotonic() >= deadline:
+                raise self._timeout_fail(timeout)
+            now = time.monotonic()
+            bound = min(_POLL_S, max(deadline - now, 0.0))
+            if ready and self._ready_at:
+                # payload complete, only an injected delay pends: sleep
+                # exactly to the stall's end, not a full poll tick
+                bound = min(bound, max(self._ready_at - now, 0.0))
+            self._block_for(bound)
+            ready = self._progress()
+        self._result = self._complete(out)
+        self._done = True
+        self.waited_s += time.monotonic() - t0
+        return self._result
+
+    def wait_acks(self, timeout: float | None = None) -> None:
+        """Block until every receiver has consumed this rank's payload.
+
+        The credit half of the double-buffer protocol: a sender may only
+        refill a posted staging buffer after ``wait_acks`` returns,
+        because queued payloads travel by reference.  Acks are emitted by
+        the *nonblocking* completion path (``irecv``/``ialltoall`` wait),
+        which is the only consumer the protocol pairs with.
+        """
+        return None
+
+
+class _AlltoallRequest(Request):
+    """Outstanding ``ialltoall``/``ialltoallv``: one chunk from every rank."""
+
+    def __init__(self, comm: "Communicator", op: str, seq: int,
+                 chunks: Sequence[Any], kill: RankFailure | None,
+                 delay: float) -> None:
+        super().__init__(comm, op, kill, delay)
+        self._seq = seq
+        self._got: list[Any] = [None] * comm.size
+        self._missing = set(range(comm.size))
+        self._acks_missing = set(range(comm.size))
+        self._first_probe = True
+        self.posted_bytes = _payload_bytes(
+            [c for d, c in enumerate(chunks) if d != comm.rank]
+        )
+
+    def _progress(self) -> bool:
+        ctx = self._comm._ctx
+        me = self._comm.rank
+        arrived = 0
+        for src in tuple(self._missing):
+            q = ctx.queue_for(src, me, ("__nb__", self._op, self._seq))
+            try:
+                self._got[src] = q.get_nowait()
+            except queue.Empty:
+                continue
+            self._missing.discard(src)
+            arrived += 1
+        if self._first_probe:
+            # everything present before we ever had to check was fully
+            # hidden behind the compute that ran since the post
+            self._first_probe = False
+            for src in range(self._comm.size):
+                if src not in self._missing and src != me:
+                    self.overlapped_bytes += _payload_bytes(
+                        _strip_envelope(self._got[src])
+                    )
+        return not self._missing
+
+    def _block_for(self, seconds: float) -> None:
+        if not self._missing:  # payload done, only an injected delay pends
+            time.sleep(seconds)
+            return
+        src = next(iter(self._missing))
+        q = self._comm._ctx.queue_for(
+            src, self._comm.rank, ("__nb__", self._op, self._seq)
+        )
+        try:
+            self._got[src] = q.get(timeout=seconds)
+            self._missing.discard(src)
+        except queue.Empty:
+            pass
+
+    def _complete(self, out: Any) -> list[Any]:
+        comm = self._comm
+        ctx = comm._ctx
+        received = []
+        for src in range(comm.size):
+            chunk = comm._open(self._got[src], self._op, src)
+            if out is not None:
+                np.copyto(out[src], chunk)
+                chunk = out[src]
+            received.append(chunk)
+            self._got[src] = None
+            # consumption ack: the sender's staging slot for us is free
+            ctx.queue_for(comm.rank, src, ("__nback__", self._op, self._seq)).put(True)
+        return received
+
+    def wait_acks(self, timeout: float | None = None) -> None:
+        comm = self._comm
+        ctx = comm._ctx
+        if timeout is None:
+            timeout = ctx.domain.timeout
+        deadline = time.monotonic() + timeout
+        while self._acks_missing:
+            self._check_abort()
+            for dst in tuple(self._acks_missing):
+                q = ctx.queue_for(dst, comm.rank, ("__nback__", self._op, self._seq))
+                try:
+                    q.get_nowait()
+                    self._acks_missing.discard(dst)
+                except queue.Empty:
+                    pass
+            if not self._acks_missing:
+                return
+            if time.monotonic() >= deadline:
+                raise self._timeout_fail(timeout)
+            dst = next(iter(self._acks_missing))
+            q = ctx.queue_for(dst, comm.rank, ("__nback__", self._op, self._seq))
+            try:
+                q.get(timeout=min(_POLL_S, max(deadline - time.monotonic(), 0.0)))
+                self._acks_missing.discard(dst)
+            except queue.Empty:
+                pass
+
+
+class _SendRequest(Request):
+    """Outstanding ``isend``: payload is already queued; wait surfaces faults."""
+
+    def __init__(self, comm: "Communicator", dest: int, tag: int, seq: int,
+                 obj: Any, kill: RankFailure | None, delay: float) -> None:
+        super().__init__(comm, "isend", kill, delay)
+        self._dest = dest
+        self._tag = tag
+        self._seq = seq
+        self._acked = False
+        self.posted_bytes = _payload_bytes(obj)
+
+    def wait_acks(self, timeout: float | None = None) -> None:
+        comm = self._comm
+        ctx = comm._ctx
+        if self._acked:
+            return
+        if timeout is None:
+            timeout = ctx.domain.timeout
+        q = ctx.queue_for(
+            self._dest, comm.rank, ("__nback__", "p2p", self._tag, self._seq)
+        )
+        deadline = time.monotonic() + timeout
+        while True:
+            self._check_abort()
+            try:
+                q.get(timeout=min(_POLL_S, max(deadline - time.monotonic(), 0.0)))
+                self._acked = True
+                return
+            except queue.Empty:
+                pass
+            if time.monotonic() >= deadline:
+                raise self._timeout_fail(timeout)
+
+
+class _RecvRequest(Request):
+    """Outstanding ``irecv``: completes when the matching isend's payload lands."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int, seq: int) -> None:
+        super().__init__(comm, "irecv", None, 0.0)
+        self._source = source
+        self._tag = tag
+        self._seq = seq
+        self._entry: Any = None
+        self._have = False
+        self._first_probe = True
+
+    def _progress(self) -> bool:
+        if self._have:
+            return True
+        ctx = self._comm._ctx
+        q = ctx.queue_for(
+            self._source, self._comm.rank, ("__nb__", "p2p", self._tag, self._seq)
+        )
+        try:
+            self._entry = q.get_nowait()
+            self._have = True
+        except queue.Empty:
+            pass
+        if self._first_probe:
+            self._first_probe = False
+            if self._have:
+                self.overlapped_bytes += _payload_bytes(_strip_envelope(self._entry))
+        return self._have
+
+    def _block_for(self, seconds: float) -> None:
+        if self._have:
+            time.sleep(seconds)
+            return
+        q = self._comm._ctx.queue_for(
+            self._source, self._comm.rank, ("__nb__", "p2p", self._tag, self._seq)
+        )
+        try:
+            self._entry = q.get(timeout=seconds)
+            self._have = True
+        except queue.Empty:
+            pass
+
+    def _complete(self, out: Any) -> Any:
+        comm = self._comm
+        got = comm._open(self._entry, "irecv", self._source)
+        self._entry = None
+        if out is not None:
+            np.copyto(out, got)
+            got = out
+        comm._ctx.queue_for(
+            comm.rank, self._source, ("__nback__", "p2p", self._tag, self._seq)
+        ).put(True)
+        return got
+
+
+def _strip_envelope(entry: Any) -> Any:
+    return entry.payload if isinstance(entry, _CheckedPayload) else entry
+
+
+def waitall(requests: Sequence[Request], timeout: float | None = None) -> list[Any]:
+    """Complete every request in order; returns their results.
+
+    Queues buffer, so sequential completion is semantically equivalent to
+    round-robin progress — a later request's payload keeps arriving while
+    an earlier one is waited on.
+    """
+    return [r.wait(timeout=timeout) for r in requests]
 
 
 class Communicator:
@@ -660,6 +1048,82 @@ class Communicator:
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
         return self.recv(source, tag)
+
+    # ------------------------------------------------------------------
+    # nonblocking operations
+    # ------------------------------------------------------------------
+
+    def _inject_deferred(self, op: str, payload: Any) -> tuple[Any, RankFailure | None, float]:
+        """Deposit-side pipeline for nonblocking posts: checksum first,
+        then fault-inject with kill/delay deferred to wait/test time."""
+        plan = self._ctx.fault_plan
+        if plan is None:
+            return payload, None, 0.0
+        return plan.apply_deferred(self._world_rank, op, payload)
+
+    def ialltoall(self, chunks: Sequence[Any], _op: str = "ialltoall") -> Request:
+        """Nonblocking alltoall: post now, overlap compute, ``wait`` later.
+
+        Posting never blocks on peers (no barrier): each chunk goes into
+        a sequence-tagged point-to-point queue, so a rank is free to run
+        FFT compute until ``Request.wait`` collects the incoming chunks.
+        A killed sender posts *nothing* (it died before the send) and its
+        own ``wait``/``test`` raises the deferred :class:`RankFailure`,
+        which releases blocked peers through the failure domain.
+        """
+        ctx = self._ctx
+        if len(chunks) != self.size:
+            raise ValueError(f"need {self.size} chunks, got {len(chunks)}")
+        integrity = ctx.domain.integrity
+        crcs = [_payload_crc(c) for c in chunks] if integrity else None
+        payload, kill, delay = self._inject_deferred(_op, list(chunks))
+        seq = ctx.next_seq(self.rank, (_op,))
+        if kill is None:
+            for dst in range(self.size):
+                if isinstance(payload, _DroppedPayload):
+                    wire: Any = payload
+                else:
+                    wire = payload[dst]
+                    if integrity:
+                        wire = _CheckedPayload(crcs[dst], wire)
+                ctx.queue_for(self.rank, dst, ("__nb__", _op, seq)).put(wire)
+            ctx.stats.record([c for d, c in enumerate(chunks) if d != self.rank])
+        return _AlltoallRequest(self, _op, seq, chunks, kill, delay)
+
+    def ialltoallv(self, chunks: Sequence[Any]) -> Request:
+        """Variable-size nonblocking alltoall.
+
+        Chunks are arbitrary (per-destination-shaped) arrays, exactly
+        like the blocking ``alltoall`` — kept as a named alias so call
+        sites read like their MPI counterparts.
+        """
+        return self.ialltoall(chunks, _op="ialltoallv")
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the matching receive is :meth:`irecv`.
+
+        The returned request's ``wait`` surfaces deferred faults;
+        ``wait_acks`` blocks until the receiver consumed the payload
+        (required before reusing a posted buffer — payloads travel by
+        reference).
+        """
+        ctx = self._ctx
+        integrity = ctx.domain.integrity
+        crc = _payload_crc(obj) if integrity else None
+        wire, kill, delay = self._inject_deferred("isend", obj)
+        seq = ctx.next_seq(self.rank, ("p2p-send", dest, tag))
+        if kill is None:
+            if integrity:
+                wire = _CheckedPayload(crc, wire)
+            ctx.queue_for(self.rank, dest, ("__nb__", "p2p", tag, seq)).put(wire)
+            ctx.stats.record(obj)
+        return _SendRequest(self, dest, tag, seq, obj, kill, delay)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; ``wait`` returns the payload (into ``out``
+        if given) and acknowledges consumption to the sender."""
+        seq = self._ctx.next_seq(self.rank, ("p2p-recv", source, tag))
+        return _RecvRequest(self, source, tag, seq)
 
     # ------------------------------------------------------------------
     # communicator construction

@@ -17,6 +17,15 @@ The kernel embodies the two §4.4 distinctions from P3DFFT:
 * **1x work buffer** — every stage consumes its input and hands over one
   intermediate of (at most) the padded size; no 3x staging buffers.
 
+When a transpose's method is ``PIPELINED``, the adjacent FFT stage is
+*fused into* the transpose: the exchange for slab ``k`` is posted
+nonblocking while slab ``k-1`` (``to_physical``: pad + inverse FFT after
+assembly) or ``k+1`` (``from_physical``: forward FFT + truncate before
+posting) runs its transforms, hiding wire time behind compute.  The 1-D
+FFTs are independent per pencil, so the fused path is bit-for-bit
+identical to the synchronous one; its hidden compute is timed under the
+nested ``overlap`` section and accounted in :attr:`overlap_counters`.
+
 Construction is collective over the cartesian communicator.
 """
 
@@ -26,7 +35,7 @@ import numpy as np
 
 from repro.fft.fourier import quadrature_points
 from repro.fft.plans import Planner, default_planner
-from repro.instrument import SectionTimers
+from repro.instrument import OverlapCounters, SectionTimers
 from repro.mpi.simmpi import CartesianCommunicator
 from repro.pencil.decomp import PencilDecomp, block_size
 from repro.pencil.transpose import GlobalTranspose, TransposeMethod
@@ -107,7 +116,12 @@ class PencilTransforms:
         # CommB: ranks sharing the A coordinate (dim 1 varies).
         self.comm_b = cart.cart_sub([False, True])
 
+        #: communication/compute overlap accounting, shared by the four
+        #: transposes (populated only when a pipelined method is active)
+        self.overlap_counters = OverlapCounters()
+
         kw = {"method": method} if method is not None else {}
+        kw.update(timers=self.timers, overlap=self.overlap_counters)
         self.t_yz = GlobalTranspose(self.comm_b, split_axis=2, concat_axis=1, **kw)
         self.t_zy = GlobalTranspose(self.comm_b, split_axis=1, concat_axis=2, **kw)
         self.t_zx = GlobalTranspose(self.comm_a, split_axis=1, concat_axis=0, **kw)
@@ -122,24 +136,26 @@ class PencilTransforms:
         d, t = self.decomp, self.timers
         if spec.shape != d.y_pencil_shape:
             raise ValueError(f"expected {d.y_pencil_shape}, got {spec.shape}")
-        with t.section(t.TRANSPOSE):
-            zp = self.t_yz.execute(np.ascontiguousarray(spec))  # (mxa, mz, nyb)
-        with t.section(t.FFT):
-            if self.drop_nyquist:
-                zfull = _insert_fft_modes(zp, self.nzq, axis=1)
-            else:
-                zfull = self._pad_full_spectrum(zp, self.nzq, axis=1)
-            zfull *= self.nzq
-            zphys = self.planner.execute("ifft", zfull, axis=1)  # (mxa, nzq, nyb)
-        with t.section(t.TRANSPOSE):
-            xp = self.t_zx.execute(zphys)  # (mx, nzqa, nyb)
-        with t.section(t.FFT):
-            shape = list(xp.shape)
-            shape[0] = self.nxq // 2 + 1
-            xfull = np.zeros(shape, dtype=complex)
-            xfull[: xp.shape[0]] = xp
-            xfull *= self.nxq
-            phys = self.planner.execute("irfft", xfull, axis=0, nout=self.nxq)
+        if self.t_yz.method is TransposeMethod.PIPELINED:
+            # transpose-then-compute fusion: assembled slab k runs its z
+            # (then x) FFT stage while the exchange for slab k+1 flies
+            with t.section(t.TRANSPOSE):
+                zphys = self.t_yz.pipelined.execute(
+                    np.ascontiguousarray(spec), post=self._z_stage_to_physical
+                )
+        else:
+            with t.section(t.TRANSPOSE):
+                zp = self.t_yz.execute(np.ascontiguousarray(spec))  # (mxa, mz, nyb)
+            with t.section(t.FFT):
+                zphys = self._z_stage_to_physical(zp, 0)  # (mxa, nzq, nyb)
+        if self.t_zx.method is TransposeMethod.PIPELINED:
+            with t.section(t.TRANSPOSE):
+                phys = self.t_zx.pipelined.execute(zphys, post=self._x_stage_to_physical)
+        else:
+            with t.section(t.TRANSPOSE):
+                xp = self.t_zx.execute(zphys)  # (mx, nzqa, nyb)
+            with t.section(t.FFT):
+                phys = self._x_stage_to_physical(xp, 0)
         return phys
 
     def from_physical(self, phys: np.ndarray) -> np.ndarray:
@@ -147,22 +163,68 @@ class PencilTransforms:
         d, t = self.decomp, self.timers
         if phys.shape != d.x_pencil_shape_phys:
             raise ValueError(f"expected {d.x_pencil_shape_phys}, got {phys.shape}")
-        with t.section(t.FFT):
-            xh = self.planner.execute("rfft", phys, axis=0)
-            xh = xh[: self.mx]  # truncate pad (+ Nyquist); stays contiguous
-            xh /= self.nxq
-        with t.section(t.TRANSPOSE):
-            zp = self.t_xz.execute(xh)  # (mxa, nzq, nyb)
-        with t.section(t.FFT):
-            zh = self.planner.execute("fft", zp, axis=1)
-            zh /= self.nzq
-            if self.drop_nyquist:
-                zh = _extract_fft_modes(zh, self.nz, axis=1)
-            else:
-                zh = self._truncate_full_spectrum(zh, axis=1)
-        with t.section(t.TRANSPOSE):
-            spec = self.t_zy.execute(np.ascontiguousarray(zh))  # (mxa, mzb, ny)
+        if self.t_xz.method is TransposeMethod.PIPELINED:
+            # compute-then-post fusion: slab k+1 runs its x FFT stage
+            # while the exchange for slab k is still in flight
+            with t.section(t.TRANSPOSE):
+                zp = self.t_xz.pipelined.execute(phys, pre=self._x_stage_to_spectral)
+        else:
+            with t.section(t.FFT):
+                xh = self._x_stage_to_spectral(phys, 0)
+            with t.section(t.TRANSPOSE):
+                zp = self.t_xz.execute(xh)  # (mxa, nzq, nyb)
+        if self.t_zy.method is TransposeMethod.PIPELINED:
+            with t.section(t.TRANSPOSE):
+                spec = self.t_zy.pipelined.execute(zp, pre=self._z_stage_to_spectral)
+        else:
+            with t.section(t.FFT):
+                zh = self._z_stage_to_spectral(zp, 0)
+            with t.section(t.TRANSPOSE):
+                spec = self.t_zy.execute(np.ascontiguousarray(zh))  # (mxa, mzb, ny)
         return spec
+
+    # ------------------------------------------------------------------
+    # per-slab FFT stages (slab-independent along the transpose stage
+    # axis, so fused slabs reproduce the full-array results bitwise)
+    # ------------------------------------------------------------------
+
+    def _z_stage_to_physical(self, zp: np.ndarray, k: int) -> np.ndarray:
+        """Pad the z spectrum and inverse-transform it (steps b-c)."""
+        if self.drop_nyquist:
+            zfull = _insert_fft_modes(zp, self.nzq, axis=1)
+        else:
+            # may alias zp (unpadded Nyquist-keeping case): scaling in
+            # place is safe — zp is either the fresh transpose output or
+            # the pipelined slab scratch, dead after this stage
+            zfull = self._pad_full_spectrum(zp, self.nzq, axis=1)
+        zfull *= self.nzq
+        return self.planner.execute("ifft", zfull, axis=1)
+
+    def _x_stage_to_physical(self, xp: np.ndarray, k: int) -> np.ndarray:
+        """Pad the x spectrum and inverse-real-transform it (steps e-f)."""
+        shape = list(xp.shape)
+        shape[0] = self.nxq // 2 + 1
+        xfull = np.zeros(shape, dtype=complex)
+        xfull[: xp.shape[0]] = xp
+        xfull *= self.nxq
+        return self.planner.execute("irfft", xfull, axis=0, nout=self.nxq)
+
+    def _x_stage_to_spectral(self, phys: np.ndarray, k: int) -> np.ndarray:
+        """Forward x transform, truncated to the stored modes."""
+        xh = self.planner.execute("rfft", phys, axis=0)
+        xh = xh[: self.mx]  # truncate pad (+ Nyquist); stays contiguous
+        xh /= self.nxq
+        return xh
+
+    def _z_stage_to_spectral(self, zp: np.ndarray, k: int) -> np.ndarray:
+        """Forward z transform, truncated to the Nyquist-free modes."""
+        zh = self.planner.execute("fft", zp, axis=1)
+        zh /= self.nzq
+        if self.drop_nyquist:
+            zh = _extract_fft_modes(zh, self.nz, axis=1)
+        else:
+            zh = self._truncate_full_spectrum(zh, axis=1)
+        return zh
 
     # ------------------------------------------------------------------
     # helpers for the Nyquist-keeping variant (P3DFFT layout)

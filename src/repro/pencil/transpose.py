@@ -8,27 +8,57 @@ becomes distributed and vice versa.  Concretely, each rank
 2. exchanges chunks all-to-all within the sub-communicator,
 3. concatenates the received chunks along the axis that becomes local.
 
-Like FFTW 3.3's transpose planner, two implementations are available —
-one MPI_alltoall-style collective and one pairwise MPI_sendrecv loop —
-and a measuring planner picks whichever is faster on this machine for
-this shape ("multiple implementations of the global transposes are
-tested ... the implementation with the best performance on simple tests
-is selected", §4.3).
+Like FFTW 3.3's transpose planner, multiple implementations are
+available and a measuring planner picks whichever is fastest on this
+machine for this shape ("multiple implementations of the global
+transposes are tested ... the implementation with the best performance
+on simple tests is selected", §4.3):
+
+* ``ALLTOALL`` — one blocking collective exchange,
+* ``PAIRWISE`` — a pairwise MPI_sendrecv loop (XOR schedule when P is a
+  power of two, shifted ring otherwise),
+* ``PIPELINED`` — a staged :class:`PipelinedTranspose`: the third axis
+  (local on both sides of the transpose) is cut into slabs, each slab's
+  exchange is posted nonblocking (``ialltoallv``) and the wait for slab
+  *k* overlaps the post — and, through the ``pre``/``post`` compute
+  hooks, the FFT work — of the neighbouring slabs.
+
+Send chunks are built into persistent, double-buffered contiguous
+staging buffers instead of per-call slice copies, so the steady-state
+transpose cycle performs zero workspace allocations.  Two parities
+suffice for the blocking methods because both are synchronizing: a rank
+cannot finish exchange ``N+1`` before every peer has deposited into it,
+which it only does after consuming (concatenating) exchange ``N`` — so
+by the time parity ``N % 2`` is refilled for exchange ``N+2``, no peer
+still reads it.  The pipelined method has no such global synchronization
+and instead runs the explicit ack credit protocol of
+:meth:`repro.mpi.simmpi.Request.wait_acks`.
+
+Set ``REPRO_TRANSPOSE_METHOD`` (``alltoall`` / ``pairwise_sendrecv`` /
+``pipelined``) to pin the method: :meth:`GlobalTranspose.plan` then
+skips measurement and deterministically applies the pin on every rank.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 import time
 
 import numpy as np
 
+from repro.instrument import OverlapCounters, SectionTimers
 from repro.mpi.simmpi import Communicator
 
 
 class TransposeMethod(enum.Enum):
     ALLTOALL = "alltoall"
     PAIRWISE = "pairwise_sendrecv"
+    PIPELINED = "pipelined"
+
+
+#: env var pinning the transpose method (checked by :meth:`GlobalTranspose.plan`)
+ENV_METHOD = "REPRO_TRANSPOSE_METHOD"
 
 
 class GlobalTranspose:
@@ -48,6 +78,20 @@ class GlobalTranspose:
         the receivers); defaults to near-equal blocks.
     method:
         Fixed method, or None to let :meth:`plan` measure and choose.
+    stages:
+        Slab count of the pipelined method (bounded by the stage-axis
+        extent; more stages expose more overlap at smaller messages).
+    timers:
+        Optional :class:`SectionTimers`; the pipelined path times hidden
+        compute under the nested ``overlap`` section and emits comm-lane
+        trace spans through ``timers.tracer``.
+    overlap:
+        Optional :class:`OverlapCounters` receiving posted / overlapped
+        bytes and wait time from the pipelined path.
+    counters:
+        Optional :class:`~repro.instrument.TransformCounters`; staging
+        buffers are registered as pipeline workspace so the
+        zero-allocation invariant covers them.
     """
 
     def __init__(
@@ -57,6 +101,10 @@ class GlobalTranspose:
         concat_axis: int,
         split_sizes: list[int] | None = None,
         method: TransposeMethod | None = None,
+        stages: int = 4,
+        timers: SectionTimers | None = None,
+        overlap: OverlapCounters | None = None,
+        counters=None,
     ) -> None:
         self.comm = comm
         self.split_axis = split_axis
@@ -64,33 +112,82 @@ class GlobalTranspose:
         self.split_sizes = split_sizes
         self.method = method or TransposeMethod.ALLTOALL
         self.measured: dict[str, float] = {}
+        self.timers = timers
+        self.overlap = overlap
+        self.counters = counters
+        #: staging-allocation census: frozen after warm-up (one pair of
+        #: parity buffers per distinct input shape/dtype)
+        self.staging_allocs = 0
+        self.staging_bytes = 0
+        self._staging: dict[tuple, list[list[np.ndarray]]] = {}
+        self._parity: dict[tuple, int] = {}
+        self.pipelined = PipelinedTranspose(self, stages=stages)
 
     # ------------------------------------------------------------------
+    # send-side staging
+    # ------------------------------------------------------------------
 
-    def _chunks(self, a: np.ndarray) -> list[np.ndarray]:
+    def _split_extents(self, n: int) -> list[int]:
         p = self.comm.size
-        n = a.shape[self.split_axis]
         if self.split_sizes is not None:
             if len(self.split_sizes) != p or sum(self.split_sizes) != n:
                 raise ValueError(
                     f"split_sizes {self.split_sizes} incompatible with extent {n} over {p}"
                 )
-            bounds = np.concatenate([[0], np.cumsum(self.split_sizes)])
-            return [
-                np.ascontiguousarray(
-                    a.take(range(bounds[i], bounds[i + 1]), axis=self.split_axis)
-                )
-                for i in range(p)
-            ]
-        from repro.pencil.decomp import block_slices
+            return list(self.split_sizes)
+        from repro.pencil.decomp import block_size
 
-        slices = block_slices(n, p)
-        idx: list[slice | None] = [slice(None)] * a.ndim
-        out = []
-        for s in slices:
-            idx[self.split_axis] = s
-            out.append(np.ascontiguousarray(a[tuple(idx)]))
-        return out
+        return [block_size(n, p, i) for i in range(p)]
+
+    def _alloc_staging(self, shape: tuple[int, ...], dtype) -> list[list[np.ndarray]]:
+        """One pair of parity buffers, each pre-cut into per-destination views."""
+        extents = self._split_extents(shape[self.split_axis])
+        pair: list[list[np.ndarray]] = []
+        for _ in range(2):
+            total = sum(
+                int(np.prod([e if ax == self.split_axis else s
+                             for ax, s in enumerate(shape)]))
+                for e in extents
+            )
+            buf = np.empty(total, dtype=dtype)
+            self.staging_allocs += 1
+            self.staging_bytes += buf.nbytes
+            if self.counters is not None:
+                self.counters.count_workspace(buf)
+            views, offset = [], 0
+            for e in extents:
+                chunk_shape = tuple(
+                    e if ax == self.split_axis else s for ax, s in enumerate(shape)
+                )
+                n = int(np.prod(chunk_shape))
+                views.append(buf[offset : offset + n].reshape(chunk_shape))
+                offset += n
+            pair.append(views)
+        return pair
+
+    def _chunks(self, a: np.ndarray) -> list[np.ndarray]:
+        """Fill the next staging parity with per-destination chunks of ``a``."""
+        key = (a.shape, a.dtype)
+        pair = self._staging.get(key)
+        if pair is None:
+            pair = self._alloc_staging(a.shape, a.dtype)
+            self._staging[key] = pair
+            self._parity[key] = 0
+        parity = self._parity[key]
+        self._parity[key] = parity ^ 1
+        views = pair[parity]
+        extents = self._split_extents(a.shape[self.split_axis])
+        idx: list[slice] = [slice(None)] * a.ndim
+        start = 0
+        for view, e in zip(views, extents):
+            idx[self.split_axis] = slice(start, start + e)
+            np.copyto(view, a[tuple(idx)])
+            start += e
+        return views
+
+    # ------------------------------------------------------------------
+    # exchange implementations
+    # ------------------------------------------------------------------
 
     def _exchange_alltoall(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
         return self.comm.alltoall(chunks)
@@ -119,7 +216,9 @@ class GlobalTranspose:
     # ------------------------------------------------------------------
 
     def execute(self, a: np.ndarray) -> np.ndarray:
-        """Perform the transpose on this rank's block."""
+        """Perform the transpose on this rank's block (output is a fresh array)."""
+        if self.method is TransposeMethod.PIPELINED:
+            return self.pipelined.execute(a)
         chunks = self._chunks(a)
         if self.method is TransposeMethod.ALLTOALL:
             received = self._exchange_alltoall(chunks)
@@ -128,10 +227,18 @@ class GlobalTranspose:
         return np.concatenate(received, axis=self.concat_axis)
 
     def plan(self, probe: np.ndarray) -> TransposeMethod:
-        """Measure both methods on a probe array and fix the faster one.
+        """Measure every method on a probe array and fix the fastest one.
 
-        Collective: every member must call ``plan`` together.
+        Collective: every member must call ``plan`` together.  When
+        ``REPRO_TRANSPOSE_METHOD`` is set, measurement is skipped and the
+        pinned method applied deterministically on every rank (the env is
+        process-wide, so the choice is trivially collective).
         """
+        pinned = os.environ.get(ENV_METHOD)
+        if pinned:
+            self.method = TransposeMethod(pinned)
+            self.measured = {}
+            return self.method
         timings = {}
         for method in TransposeMethod:
             self.method = method
@@ -145,3 +252,202 @@ class GlobalTranspose:
         best = min(timings, key=timings.get)
         self.method = TransposeMethod(best)
         return self.method
+
+
+class PipelinedTranspose:
+    """Staged transpose overlapping each slab's exchange with compute.
+
+    The stage axis — ``3 - split_axis - concat_axis``, the axis local on
+    both sides of the transpose — is cut into ``stages`` near-equal
+    slabs.  Slab ``k``'s exchange is posted (``ialltoallv``) before slab
+    ``k-1``'s is waited on, so the wire time of one slab hides behind
+    the staging/assembly — and, with the compute hooks, the FFT work —
+    of its neighbours:
+
+    * ``pre(slab, k)`` — compute-then-post (the ``from_physical``
+      direction): transforms slab ``k`` *before* its chunks are posted,
+      running while exchange ``k-1`` is still in flight.
+    * ``post(slab, k)`` — transpose-then-compute (the ``to_physical``
+      direction): transforms the assembled slab ``k`` while exchange
+      ``k+1`` is in flight.
+
+    Buffer ownership: posted chunks live in the owning
+    :class:`GlobalTranspose`'s double-buffered staging; a parity buffer
+    is refilled for slab ``k+1`` only after ``wait_acks`` confirms every
+    receiver consumed slab ``k-1`` (the ack credit protocol — queued
+    payloads travel by reference, so consumption must be acknowledged,
+    not assumed).  Received chunks are assembled straight into the
+    caller-owned output array (or a persistent slab buffer when a
+    ``post`` hook reshapes the data), so the steady state allocates
+    nothing beyond the returned output.
+
+    Results are bit-for-bit identical to the synchronous methods: the
+    same chunks travel, assembly is pure ``copyto``, and the hooks
+    process exactly the slab the synchronous path would (1-D FFTs are
+    independent per pencil, so slab-wise transforms reproduce the
+    full-array transforms bitwise).
+    """
+
+    def __init__(self, base: GlobalTranspose, stages: int = 4) -> None:
+        self.base = base
+        self.stages = max(1, int(stages))
+        self._slab_buffers: dict[tuple, np.ndarray] = {}
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def stage_axis(self) -> int:
+        return 3 - self.base.split_axis - self.base.concat_axis
+
+    def _layout_for(self, posted: np.ndarray) -> tuple[list[int], list[int]]:
+        """Per-source concat extents and offsets.
+
+        One tiny int allgather per execute — deliberately *not* cached:
+        a cache key would be built from per-rank local extents, and any
+        rank-dependent hit/miss pattern would desynchronize the
+        collective.
+        """
+        sizes = [
+            int(s) for s in self.base.comm.allgather(posted.shape[self.base.concat_axis])
+        ]
+        offsets, acc = [], 0
+        for s in sizes:
+            offsets.append(acc)
+            acc += s
+        return sizes, offsets
+
+    def _slab_buffer(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Persistent assembly buffer for the transposed slab (post-hook path)."""
+        key = (shape, dtype)
+        buf = self._slab_buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            base = self.base
+            base.staging_allocs += 1
+            base.staging_bytes += buf.nbytes
+            if base.counters is not None:
+                base.counters.count_workspace(buf)
+            self._slab_buffers[key] = buf
+        return buf
+
+    # -- hook timing -----------------------------------------------------
+
+    def _run_hook(self, hook, slab: np.ndarray, k: int, in_flight: bool):
+        base = self.base
+        t0 = time.perf_counter()
+        if in_flight and base.timers is not None:
+            with base.timers.section(SectionTimers.OVERLAP):
+                out = hook(slab, k)
+        else:
+            out = hook(slab, k)
+        if in_flight and base.overlap is not None:
+            base.overlap.overlap_seconds += time.perf_counter() - t0
+        return out
+
+    # -- the staged exchange ---------------------------------------------
+
+    def execute(self, a: np.ndarray, pre=None, post=None) -> np.ndarray:
+        """Transpose ``a`` (optionally fused with per-slab compute hooks)."""
+        base = self.base
+        comm = base.comm
+        if a.ndim != 3:
+            raise ValueError("pipelined transpose needs a 3-D block")
+        stage_ax = self.stage_axis
+        from repro.pencil.decomp import block_slices
+
+        extent = a.shape[stage_ax]
+        nstages = max(1, min(self.stages, extent))
+        slabs = block_slices(extent, nstages)
+        reqs: list = [None] * nstages
+        t_posts = [0.0] * nstages
+        out: np.ndarray | None = None
+        my_split = 0
+        sizes: list[int] = []
+        offsets: list[int] = []
+
+        def posted_slab(k: int) -> np.ndarray:
+            idx: list[slice] = [slice(None)] * 3
+            idx[stage_ax] = slabs[k]
+            slab = a[tuple(idx)]
+            if pre is not None:
+                in_flight = any(r is not None for r in reqs[:k])
+                slab = self._run_hook(pre, slab, k, in_flight)
+            return slab
+
+        def post_stage(k: int) -> np.ndarray:
+            nonlocal my_split, sizes, offsets
+            slab = posted_slab(k)
+            if k == 0:
+                sizes, offsets = self._layout_for(slab)
+                my_split = base._split_extents(slab.shape[base.split_axis])[comm.rank]
+            chunks = base._chunks(slab)
+            t_posts[k] = time.perf_counter()
+            reqs[k] = comm.ialltoallv(chunks)
+            if base.overlap is not None:
+                base.overlap.posts += 1
+                base.overlap.bytes_posted += reqs[k].posted_bytes
+            return slab
+
+        def recv_views(target: np.ndarray, k_slice_in_stage) -> list[np.ndarray]:
+            views = []
+            for src in range(comm.size):
+                idx: list[slice] = [slice(None)] * 3
+                idx[base.concat_axis] = slice(offsets[src], offsets[src] + sizes[src])
+                if k_slice_in_stage is not None:
+                    idx[stage_ax] = k_slice_in_stage
+                views.append(target[tuple(idx)])
+            return views
+
+        first_slab = post_stage(0)
+        if post is None:
+            # assemble every slab straight into the final output
+            out_shape = list(first_slab.shape)
+            out_shape[base.split_axis] = my_split
+            out_shape[base.concat_axis] = sum(sizes)
+            out_shape[stage_ax] = extent
+            out = np.empty(tuple(out_shape), dtype=first_slab.dtype)
+
+        for k in range(nstages):
+            if k + 1 < nstages:
+                if k >= 1:
+                    reqs[k - 1].wait_acks()  # free the parity buffer k+1 reuses
+                post_stage(k + 1)
+            req = reqs[k]
+            if post is None:
+                req.wait(out=recv_views(out, slabs[k]))
+            else:
+                slab_extent = slabs[k].stop - slabs[k].start
+                t_shape = [0, 0, 0]
+                t_shape[base.split_axis] = my_split
+                t_shape[base.concat_axis] = sum(sizes)
+                t_shape[stage_ax] = slab_extent
+                slab_buf = self._slab_buffer(tuple(t_shape), a.dtype)
+                req.wait(out=recv_views(slab_buf, None))
+                in_flight = k + 1 < nstages
+                y = self._run_hook(post, slab_buf, k, in_flight)
+                if out is None:
+                    out_shape = list(y.shape)
+                    out_shape[stage_ax] = extent
+                    out = np.empty(tuple(out_shape), dtype=y.dtype)
+                idx: list[slice] = [slice(None)] * 3
+                idx[stage_ax] = slabs[k]
+                np.copyto(out[tuple(idx)], y)
+            if base.overlap is not None:
+                base.overlap.waits += 1
+                base.overlap.bytes_completed += req.posted_bytes
+                base.overlap.bytes_overlapped += req.overlapped_bytes
+                base.overlap.wait_seconds += req.waited_s
+            tracer = base.timers.tracer if base.timers is not None else None
+            if tracer is not None:
+                tracer.add_complete(
+                    f"ialltoallv s{k}",
+                    t_posts[k],
+                    time.perf_counter() - t_posts[k],
+                    tid=1,
+                    cat="comm",
+                )
+        # drain the tail acks so the next call may refill every parity
+        for req in reqs[max(0, nstages - 2) :]:
+            req.wait_acks()
+        assert out is not None
+        return out

@@ -104,6 +104,36 @@ def _case_solve_engine() -> Callable[[], None]:
     return solve
 
 
+def _case_pipelined_transpose() -> Callable[[], None]:
+    from repro.core.grid import ChannelGrid
+    from repro.mpi.simmpi import run_spmd
+    from repro.pencil.parallel_fft import PencilTransforms
+    from repro.pencil.transpose import TransposeMethod
+
+    nx, ny, nz = 32, 16, 32
+    grid = ChannelGrid(nx, ny, nz)
+    rng = np.random.default_rng(0)
+    spec = rng.standard_normal(grid.spectral_shape) + 1j * rng.standard_normal(
+        grid.spectral_shape
+    )
+
+    def prog(comm):
+        cart = comm.cart_create((2, 2))
+        tr = PencilTransforms(
+            cart, nx, ny, nz, dealias=False, method=TransposeMethod.PIPELINED
+        )
+        d = tr.decomp
+        loc = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+        for _ in range(2):
+            loc = tr.fft_cycle(loc)
+        return True
+
+    def cycle() -> None:
+        run_spmd(4, prog)
+
+    return cycle
+
+
 def _case_dns_step() -> Callable[[], None]:
     from repro.core import ChannelConfig, ChannelDNS
 
@@ -121,6 +151,11 @@ HOT_PATH_CASES: tuple[BenchCase, ...] = (
     BenchCase("transform_chain_32", _case_transform_chain, guards="PR 1 planned pipeline (3 fwd + 5 bwd, 32x33x32)"),
     BenchCase("solve_engine_256x32", _case_solve_engine, guards="PR 2 blocked banded solve (n=256, batch=32, complex RHS)"),
     BenchCase("dns_step_16", _case_dns_step, guards="whole RK3 IMEX step (16x25x16)"),
+    BenchCase(
+        "pipelined_transpose_32",
+        _case_pipelined_transpose,
+        guards="PR 6 overlapped pencil transposes (2 fft_cycles, 4 ranks, 32x16x32)",
+    ),
 )
 
 

@@ -5,8 +5,8 @@ shares — serial :class:`~repro.core.solver.ChannelDNS`, per-rank
 :class:`~repro.pencil.distributed.DistributedChannelDNS`, the
 :class:`~repro.core.supervisor.RunSupervisor` and the job-level elastic
 loop.  Attached to a driver it emits one ``step`` record per timestep
-(section-time deltas, transform/solve/recovery counter deltas, dt, CFL,
-divergence, rank metadata) into an append-only JSON-lines stream, and
+(section-time deltas, transform/solve/recovery/overlap counter deltas,
+dt, CFL, divergence, rank metadata) into an append-only JSON-lines stream, and
 optionally feeds a :class:`~repro.telemetry.trace.TraceWriter` so the
 same run opens in Perfetto.  A ``manifest.json`` (config fingerprint,
 git revision, package versions, machine info) is written beside the
@@ -112,6 +112,7 @@ class RunRecorder:
         self._solve_fn = None
         self._recovery = None
         self._mpi_stats = None
+        self._overlap = None
         self._since_flush = 0
         self._wall_total = 0.0
         self._steps_recorded = 0
@@ -170,6 +171,7 @@ class RunRecorder:
         self._timers = getattr(dns, "timers", None) or dns.stepper.timers
         backend = getattr(dns, "backend", None) or getattr(dns, "transforms", None)
         self._transforms = getattr(backend, "counters", None)
+        self._overlap = getattr(backend, "overlap_counters", None)
         self._solve_fn = getattr(dns.stepper, "solve_counters", None)
         comm = getattr(dns, "comm", None)
         self._mpi_stats = getattr(comm, "stats", None)
@@ -221,6 +223,8 @@ class RunRecorder:
             self._baseline_counts(
                 "mpi", {"messages": self._mpi_stats.messages, "bytes": self._mpi_stats.bytes}
             )
+        if self._overlap is not None:
+            self._baseline_counts("overlap", self._overlap.snapshot())
 
     @staticmethod
     def _counter_scalars(snapshot: dict) -> dict:
@@ -287,6 +291,8 @@ class RunRecorder:
             rec["mpi"] = self._count_deltas(
                 "mpi", {"messages": self._mpi_stats.messages, "bytes": self._mpi_stats.bytes}
             )
+        if self._overlap is not None:
+            rec["overlap"] = self._count_deltas("overlap", self._overlap.snapshot())
         self._write(rec)
         self.counters.records += 1
         t_end = time.perf_counter()

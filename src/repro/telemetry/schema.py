@@ -22,7 +22,7 @@ import pathlib
 from typing import Iterator
 
 #: version stamped into every record and the manifest
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: record types a stream may contain
 RECORD_TYPES = ("step", "event", "summary")
@@ -75,6 +75,13 @@ STEP_FIELDS: dict[str, tuple[bool, str]] = {
         "SimMPI MessageStats deltas {messages, bytes}; the stats object is shared by the "
         "communicator context, so the numbers are world totals (identical on every rank); "
         "absent in serial runs",
+    ),
+    "overlap": (
+        False,
+        "OverlapCounters deltas of the pipelined transposes (posts, waits, bytes_posted, "
+        "bytes_completed, bytes_overlapped, wait_seconds, overlap_seconds); per-rank, not "
+        "world totals; absent when the backend exposes no overlap counters (serial runs, "
+        "P3DFFT baseline) and all-zero when no transpose runs pipelined",
     ),
 }
 

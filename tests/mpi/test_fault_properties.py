@@ -15,10 +15,13 @@ import pytest
 
 from repro.chaos import random_fault_plan
 from repro.mpi.simmpi import (
+    FaultEvent,
+    FaultPlan,
     RankFailure,
     ShrinkRequired,
     SimMPIError,
     run_spmd,
+    waitall,
 )
 
 NRANKS = 4
@@ -88,6 +91,161 @@ def test_random_schedule_types_cleanly_on_all_ranks(seed):
     assert after <= threads_before, (
         f"seed {seed}: {after - threads_before} orphan thread(s) remain"
     )
+
+
+def _nonblocking_storm(comm):
+    """A deterministic program living on the nonblocking path: overlapped
+    ialltoall rounds with the ack credit protocol, plus an isend/irecv ring."""
+    for i in range(20):
+        req = comm.ialltoall(
+            [np.full(4, comm.rank * 100 + j + i) for j in range(comm.size)]
+        )
+        got = req.wait()
+        assert got[comm.rank][0] == comm.rank * 100 + comm.rank + i
+        req.wait_acks()
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        rreq = comm.irecv(source=left, tag=7)
+        sreq = comm.isend(np.array([comm.rank, i]), dest=right, tag=7)
+        waitall([rreq, sreq])
+        sreq.wait_acks()
+    return comm.rank
+
+
+#: fault schedules for the nonblocking sweep target the nonblocking ops
+#: (plus the wildcard, which fires at whatever the victim reaches next)
+NONBLOCKING_OPS = ("ialltoall", "isend", None)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_schedule_nonblocking_ops_type_cleanly(seed):
+    """Satellite contract: faults on nonblocking ops fire at wait/test
+    time with the same typed semantics as the blocking collectives."""
+    plan = random_fault_plan(
+        seed, NRANKS, max_events=3, max_call=100, ops=NONBLOCKING_OPS
+    )
+    outcomes = [None] * NRANKS
+    threads_before = threading.active_count()
+
+    def prog(comm):
+        try:
+            result = _nonblocking_storm(comm)
+        except BaseException as exc:
+            outcomes[comm.rank] = exc
+            raise
+        outcomes[comm.rank] = "ok"
+        return result
+
+    elastic = seed % 2 == 0
+    t0 = time.perf_counter()
+    try:
+        results = run_spmd(
+            NRANKS, prog, timeout=60.0, fault_plan=plan,
+            elastic=elastic, integrity=True,
+        )
+    except TYPED:
+        pass
+    else:
+        assert results == list(range(NRANKS))
+    elapsed = time.perf_counter() - t0
+
+    assert elapsed < BOUNDED, f"seed {seed} took {elapsed:.1f}s (hang?)"
+    for rank, out in enumerate(outcomes):
+        assert out == "ok" or isinstance(out, TYPED), (
+            f"seed {seed}: rank {rank} saw untyped {type(out).__name__}: {out}"
+        )
+    after = _settled_thread_count(threads_before)
+    assert after <= threads_before, (
+        f"seed {seed}: {after - threads_before} orphan thread(s) remain"
+    )
+
+
+class TestDeferredFaultSemantics:
+    """Each fault action, pinned to a deterministic nonblocking call site."""
+
+    def test_kill_defers_from_post_to_wait(self):
+        plan = FaultPlan([FaultEvent("kill", rank=1, op="ialltoall", call=0)])
+        posted = [False] * NRANKS
+
+        def prog(comm):
+            req = comm.ialltoall([np.ones(2)] * comm.size)
+            posted[comm.rank] = True  # the post itself must not raise
+            req.wait()
+            return True
+
+        with pytest.raises(ShrinkRequired) as exc_info:
+            run_spmd(NRANKS, prog, fault_plan=plan, elastic=True, timeout=30.0)
+        assert all(posted)
+        assert exc_info.value.survivors == (0, 2, 3)
+        assert exc_info.value.dead == (1,)
+
+    def test_kill_surfaces_at_test_too(self):
+        plan = FaultPlan([FaultEvent("kill", rank=0, op="ialltoall", call=0)])
+        saw = [None] * 2
+
+        def prog(comm):
+            req = comm.ialltoall([np.ones(2)] * comm.size)
+            try:
+                req.test()
+            except RankFailure as exc:
+                saw[comm.rank] = exc
+                raise
+            req.wait()
+            return True
+
+        with pytest.raises((RankFailure, SimMPIError)):
+            run_spmd(2, prog, fault_plan=plan, timeout=30.0)
+        assert isinstance(saw[0], RankFailure)
+
+    def test_corrupt_detected_at_wait_with_integrity(self):
+        plan = FaultPlan([FaultEvent("corrupt", rank=1, op="ialltoall", call=0)])
+
+        def prog(comm):
+            comm.ialltoall([np.arange(8.0)] * comm.size).wait()
+            return True
+
+        with pytest.raises(SimMPIError, match="corrupt payload from rank 1"):
+            run_spmd(3, prog, fault_plan=plan, integrity=True, timeout=30.0)
+        assert plan.triggered[0]["action"] == "corrupt"
+
+    def test_drop_detected_at_wait(self):
+        plan = FaultPlan([FaultEvent("drop", rank=2, op="ialltoallv", call=0)])
+
+        def prog(comm):
+            comm.ialltoallv([np.arange(4.0)] * comm.size).wait()
+            return True
+
+        with pytest.raises(SimMPIError, match="rank 2 dropped"):
+            run_spmd(3, prog, fault_plan=plan, timeout=30.0)
+
+    def test_delay_stalls_completion_not_post(self):
+        plan = FaultPlan([FaultEvent("delay", rank=0, op="ialltoall", call=0, delay=0.3)])
+
+        def prog(comm):
+            t0 = time.perf_counter()
+            req = comm.ialltoall([np.ones(2)] * comm.size)
+            t_post = time.perf_counter() - t0
+            req.wait()
+            t_wait = time.perf_counter() - t0
+            return t_post, t_wait
+
+        t_post, t_wait = run_spmd(2, prog, fault_plan=plan, timeout=30.0)[0]
+        assert t_post < 0.1  # the post returned immediately
+        assert t_wait >= 0.3  # the injected latency surfaced at wait
+
+    def test_isend_kill_defers_to_wait(self):
+        plan = FaultPlan([FaultEvent("kill", rank=0, op="isend", call=0)])
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.ones(2), dest=1)
+                req.wait()
+            else:
+                comm.irecv(source=0).wait()
+            return True
+
+        with pytest.raises((RankFailure, SimMPIError)):
+            run_spmd(2, prog, fault_plan=plan, timeout=30.0)
 
 
 def test_sweep_covers_every_action():

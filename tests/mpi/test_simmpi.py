@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi.simmpi import Communicator, SimMPIError, run_spmd
+from repro.mpi.simmpi import Communicator, SimMPIError, run_spmd, waitall
 
 
 class TestCollectives:
@@ -78,6 +78,146 @@ class TestCollectives:
             return True
 
         assert all(run_spmd(4, prog))
+
+
+class TestNonblocking:
+    def test_ialltoall_matches_alltoall(self):
+        def prog(comm):
+            chunks = [np.array([comm.rank, d]) for d in range(comm.size)]
+            req = comm.ialltoall(chunks)
+            got = req.wait()
+            ref = comm.alltoall(chunks)
+            for a, b in zip(got, ref):
+                np.testing.assert_array_equal(a, b)
+            req.wait_acks()
+            return True
+
+        assert all(run_spmd(5, prog))
+
+    def test_ialltoallv_variable_sizes(self):
+        def prog(comm):
+            chunks = [np.full(d + 1, comm.rank) for d in range(comm.size)]
+            got = comm.ialltoallv(chunks).wait()
+            for src in range(comm.size):
+                assert got[src].shape == (comm.rank + 1,)
+                assert np.all(got[src] == src)
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_ialltoall_out_views(self):
+        """wait(out=...) assembles into caller buffers without allocating."""
+
+        def prog(comm):
+            chunks = [np.array([float(comm.rank * 10 + d)]) for d in range(comm.size)]
+            out = [np.zeros(1) for _ in range(comm.size)]
+            got = comm.ialltoall(chunks).wait(out=out)
+            assert all(g is o for g, o in zip(got, out))
+            for src in range(comm.size):
+                assert out[src][0] == src * 10 + comm.rank
+            return True
+
+        assert all(run_spmd(3, prog))
+
+    def test_overlap_with_compute_between_post_and_wait(self):
+        """Chunks delivered during the compute window count as overlapped."""
+
+        def prog(comm):
+            chunks = [np.zeros(100) + comm.rank for _ in range(comm.size)]
+            req = comm.ialltoall(chunks)
+            # a real compute window: by the time we wait, peers posted too
+            comm.barrier()
+            req.wait()
+            return req.overlapped_bytes, req.posted_bytes
+
+        for overlapped, posted in run_spmd(4, prog):
+            assert posted == 3 * 100 * 8
+            assert overlapped == posted  # everything arrived before the wait
+
+    def test_test_reports_completion(self):
+        def prog(comm):
+            req = comm.ialltoall([np.ones(4)] * comm.size)
+            comm.barrier()  # all posts are in
+            deadline = 200
+            while not req.test() and deadline:
+                deadline -= 1
+            assert req.test()
+            got = req.wait()
+            assert len(got) == comm.size
+            return True
+
+        assert all(run_spmd(3, prog))
+
+    def test_waitall_many_rounds_in_flight(self):
+        """Sequence tags keep several outstanding ialltoalls separated."""
+
+        def prog(comm):
+            reqs = [
+                comm.ialltoall([np.array([r, comm.rank])] * comm.size)
+                for r in range(5)
+            ]
+            for r, got in enumerate(waitall(reqs)):
+                for src in range(comm.size):
+                    assert got[src][0] == r and got[src][1] == src
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_isend_irecv_ring(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            rreq = comm.irecv(source=left)
+            sreq = comm.isend(np.array([comm.rank]), dest=right)
+            got = rreq.wait()
+            sreq.wait()
+            sreq.wait_acks()
+            return int(got[0]) == left
+
+        assert all(run_spmd(5, prog))
+
+    def test_ack_credit_allows_buffer_reuse(self):
+        """After wait_acks the posted staging buffer is provably free."""
+
+        def prog(comm):
+            buf = np.array([comm.rank, 0.0])
+            for round_ in range(4):
+                buf[1] = round_
+                req = comm.ialltoall([buf] * comm.size)
+                got = req.wait()
+                for src in range(comm.size):
+                    assert got[src][1] == round_
+                req.wait_acks()  # every receiver consumed: safe to refill
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_integrity_wraps_each_chunk(self):
+        def prog(comm):
+            got = comm.ialltoall([np.arange(3.0)] * comm.size).wait()
+            for g in got:
+                np.testing.assert_array_equal(g, np.arange(3.0))
+            return True
+
+        assert all(run_spmd(3, prog, integrity=True))
+
+    def test_nonblocking_message_accounting(self):
+        def prog(comm):
+            comm.ialltoall([np.zeros(10)] * comm.size).wait()
+            return comm.stats.messages, comm.stats.bytes
+
+        msgs, byts = run_spmd(4, prog)[0]
+        assert msgs == 4 * 3
+        assert byts == 4 * 3 * 10 * 8
+
+    def test_wrong_chunk_count_rejected(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                comm.ialltoall([np.zeros(1)] * (comm.size + 1))
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(3, prog))
 
 
 class TestPointToPoint:

@@ -5,9 +5,11 @@ import pytest
 
 from repro.core.grid import ChannelGrid
 from repro.core.transforms import to_quadrature_grid
-from repro.mpi.simmpi import run_spmd
+from repro.mpi.simmpi import FaultEvent, FaultPlan, ShrinkRequired, run_spmd
+from repro.pencil.decomp import choose_grid
 from repro.pencil.p3dfft import P3DFFTBaseline
 from repro.pencil.parallel_fft import PencilTransforms
+from repro.pencil.transpose import ENV_METHOD, TransposeMethod
 
 NX, NY, NZ = 16, 12, 16
 
@@ -98,6 +100,98 @@ class TestCustomKernel:
             tr = PencilTransforms(cart, NX, NY, NZ)
             choices = tr.plan()
             assert set(choices) == {"CommA", "CommB"}
+            return True
+
+        assert all(run_spmd(4, prog))
+
+
+def _pipelined_vs_sync(comm, pa, pb, seed=9):
+    """Build both kernels on one cartesian grid and compare bitwise."""
+    grid = ChannelGrid(NX, NY, NZ)
+    spec = make_spectral(grid, seed=seed)
+    cart = comm.cart_create((pa, pb))
+    sync = PencilTransforms(cart, NX, NY, NZ, method=TransposeMethod.ALLTOALL)
+    pipe = PencilTransforms(cart, NX, NY, NZ, method=TransposeMethod.PIPELINED)
+    d = sync.decomp
+    local = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+    phys_s = sync.to_physical(local)
+    phys_p = pipe.to_physical(local)
+    np.testing.assert_array_equal(phys_p, phys_s)
+    back_s = sync.from_physical(phys_s)
+    back_p = pipe.from_physical(phys_p)
+    np.testing.assert_array_equal(back_p, back_s)
+    if comm.size > 1:
+        # the exchanges really went through the nonblocking path
+        assert pipe.overlap_counters.posts > 0
+        assert pipe.overlap_counters.bytes_posted > 0
+        assert sync.overlap_counters.posts == 0
+    return True
+
+
+class TestPipelinedKernel:
+    """The pipelined (overlapped) transposes must be bit-for-bit."""
+
+    @pytest.mark.parametrize("pa,pb", [(1, 4), (4, 1), (2, 2), (2, 3)])
+    def test_bitwise_identical_to_synchronous(self, pa, pb):
+        assert all(run_spmd(pa * pb, lambda comm: _pipelined_vs_sync(comm, pa, pb)))
+
+    def test_bitwise_identical_on_shrunk_grid(self):
+        """After a real mid-exchange ShrinkRequired, the survivor-count
+        grid chosen by the elastic planner still runs pipelined bitwise."""
+        plan = FaultPlan([FaultEvent(action="kill", rank=3, op="ialltoallv", call=2)])
+
+        def doomed(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ, method=TransposeMethod.PIPELINED)
+            local = np.zeros(tr.decomp.y_pencil_shape, complex)
+            for _ in range(6):
+                tr.to_physical(local)
+            return True
+
+        with pytest.raises(ShrinkRequired) as info:
+            run_spmd(4, doomed, fault_plan=plan, elastic=True, timeout=60.0)
+        survivors = info.value.survivors
+        assert len(survivors) == 3
+        pa, pb = choose_grid(len(survivors), NX // 2, NZ - 1, NY)
+        assert all(
+            run_spmd(
+                len(survivors),
+                lambda comm: _pipelined_vs_sync(comm, pa, pb, seed=13),
+            )
+        )
+
+    def test_env_pin_plans_deterministically(self, monkeypatch):
+        monkeypatch.setenv(ENV_METHOD, "pipelined")
+
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(cart, NX, NY, NZ)
+            choices = tr.plan()
+            assert choices == {
+                "CommB": TransposeMethod.PIPELINED,
+                "CommA": TransposeMethod.PIPELINED,
+            }
+            for t in (tr.t_yz, tr.t_zy, tr.t_zx, tr.t_xz):
+                assert t.method is TransposeMethod.PIPELINED
+            # the pin decided: nothing was measured anywhere
+            assert tr.t_yz.measured == {} and tr.t_zx.measured == {}
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_fft_cycle_identity_pipelined(self):
+        grid = ChannelGrid(NX, NY, NZ)
+        spec = make_spectral(grid, seed=3)
+
+        def prog(comm):
+            cart = comm.cart_create((2, 2))
+            tr = PencilTransforms(
+                cart, NX, NY, NZ, dealias=False, method=TransposeMethod.PIPELINED
+            )
+            d = tr.decomp
+            local = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+            out = tr.fft_cycle(local)
+            assert np.abs(out - local).max() < 1e-12
             return True
 
         assert all(run_spmd(4, prog))

@@ -6,7 +6,7 @@ import pytest
 from repro.mpi.simmpi import run_spmd
 from repro.pencil.decomp import block_range
 from repro.pencil.reorder import chunked_reorder, reorder
-from repro.pencil.transpose import GlobalTranspose, TransposeMethod
+from repro.pencil.transpose import ENV_METHOD, GlobalTranspose, TransposeMethod
 
 
 class TestReorder:
@@ -88,6 +88,66 @@ class TestGlobalTranspose:
 
         assert all(run_spmd(2, prog))
 
+    def test_pipelined_bitwise_identical_to_alltoall(self):
+        def prog(comm):
+            rng = np.random.default_rng(11)
+            lo, hi = block_range(9, comm.size, comm.rank)
+            a = rng.standard_normal((6, 7, hi - lo)) + comm.rank
+            sync = GlobalTranspose(comm, 0, 2, method=TransposeMethod.ALLTOALL)
+            pipe = GlobalTranspose(comm, 0, 2, method=TransposeMethod.PIPELINED)
+            np.testing.assert_array_equal(pipe.execute(a), sync.execute(a))
+            return True
+
+        assert all(run_spmd(3, prog))
+
+    @pytest.mark.parametrize("method", list(TransposeMethod))
+    def test_staging_allocations_freeze(self, method):
+        """Persistent staging: repeated executes allocate no new workspace."""
+
+        def prog(comm):
+            lo, hi = block_range(10, comm.size, comm.rank)
+            a = np.arange(8.0 * 3 * (hi - lo)).reshape(8, 3, hi - lo)
+            t = GlobalTranspose(comm, 0, 2, method=method)
+            first = t.execute(a)
+            allocs, byts = t.staging_allocs, t.staging_bytes
+            assert allocs > 0
+            for _ in range(5):
+                np.testing.assert_array_equal(t.execute(a), first)
+            assert (t.staging_allocs, t.staging_bytes) == (allocs, byts)
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_pipelined_hooks_fuse_compute(self):
+        """pre scales before posting; post scales after assembly."""
+
+        def prog(comm):
+            rng = np.random.default_rng(5)
+            lo, hi = block_range(8, comm.size, comm.rank)
+            a = rng.standard_normal((4, 3, hi - lo))
+            t = GlobalTranspose(comm, 0, 2, method=TransposeMethod.PIPELINED)
+            ref = GlobalTranspose(comm, 0, 2).execute(a)
+            via_pre = t.pipelined.execute(a, pre=lambda s, k: 2.0 * s)
+            np.testing.assert_array_equal(via_pre, 2.0 * ref)
+            via_post = t.pipelined.execute(a, post=lambda s, k: 3.0 * s)
+            np.testing.assert_array_equal(via_post, 3.0 * ref)
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_env_pin_skips_measurement(self, monkeypatch):
+        monkeypatch.setenv(ENV_METHOD, "pairwise_sendrecv")
+
+        def prog(comm):
+            lo, hi = block_range(8, comm.size, comm.rank)
+            t = GlobalTranspose(comm, 0, 2)
+            choice = t.plan(np.zeros((8, 2, hi - lo)))
+            assert choice is TransposeMethod.PAIRWISE
+            assert t.measured == {}  # nothing was measured: the pin decided
+            return True
+
+        assert all(run_spmd(4, prog))
+
     def test_planner_picks_and_pins(self):
         def prog(comm):
             lo, hi = block_range(8, comm.size, comm.rank)
@@ -96,7 +156,7 @@ class TestGlobalTranspose:
             choice = t.plan(probe)
             assert choice in list(TransposeMethod)
             assert t.method is choice
-            assert len(t.measured) == 2
+            assert len(t.measured) == 3
             # choices must agree across ranks (collective measurement)
             choices = comm.allgather(choice)
             assert len(set(choices)) == 1

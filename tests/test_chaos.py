@@ -4,6 +4,7 @@ and the full 25-seed sweep behind the ``soak`` marker."""
 import pytest
 
 from repro.chaos import random_fault_plan, run_chaos_soak, soak_summary
+from repro.pencil.transpose import TransposeMethod
 
 HEALTHY = {"completed", "recovered", "degraded"}
 
@@ -32,6 +33,18 @@ class TestScheduleGenerator:
 class TestShortSoak:
     def test_short_sweep_all_graceful(self, tmp_path):
         results = run_chaos_soak(range(3), tmp_path)
+        summary = soak_summary(results)
+        assert summary["all_graceful"], [
+            (r.seed, r.classification, r.detail) for r in results
+        ]
+        assert set(summary["classifications"]) <= HEALTHY
+
+    def test_short_sweep_pipelined_transposes(self, tmp_path):
+        """The overlapped-transpose path survives the same fault soak and
+        still lands on the serial reference bits."""
+        results = run_chaos_soak(
+            range(2), tmp_path, method=TransposeMethod.PIPELINED
+        )
         summary = soak_summary(results)
         assert summary["all_graceful"], [
             (r.seed, r.classification, r.detail) for r in results
