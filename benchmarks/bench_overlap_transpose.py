@@ -58,12 +58,13 @@ def _wire_plan(op: str, delay: float, ncalls: int) -> FaultPlan:
     )
 
 
-def _cycle_time(method: TransposeMethod, plan: FaultPlan | None):
-    """Max-over-ranks seconds per fft_cycle, plus rank 0's overlap counters."""
+def _cycle_time(method: TransposeMethod, plan: FaultPlan | None, wire: str = "full"):
+    """Max-over-ranks seconds per fft_cycle, plus rank 0's overlap and
+    precision counters."""
 
     def prog(comm):
         cart = comm.cart_create(GRID)
-        tr = PencilTransforms(cart, NX, NY, NZ, dealias=True, method=method)
+        tr = PencilTransforms(cart, NX, NY, NZ, dealias=True, method=method, wire=wire)
         d = tr.decomp
         rng = np.random.default_rng(comm.rank)
         spec = rng.standard_normal(d.y_pencil_shape) + 1j * rng.standard_normal(
@@ -76,10 +77,11 @@ def _cycle_time(method: TransposeMethod, plan: FaultPlan | None):
         for _ in range(ITERS):
             spec = tr.fft_cycle(spec)
         comm.barrier()
-        return (time.perf_counter() - t0) / ITERS, tr.overlap_counters.snapshot()
+        per_cycle = (time.perf_counter() - t0) / ITERS
+        return per_cycle, tr.overlap_counters.snapshot(), tr.precision_counters.snapshot()
 
     results = run_spmd(NRANKS, prog, fault_plan=plan)
-    return max(r[0] for r in results), results[0][1]
+    return max(r[0] for r in results), results[0][1], results[0][2]
 
 
 def test_overlap_transpose(benchmark):
@@ -87,17 +89,21 @@ def test_overlap_transpose(benchmark):
     calls_pipe = 4 * STAGES * (ITERS + WARM)  # ... each in STAGES slabs
 
     # regime 1: zero wire latency (the bare container bound)
-    t_sync0, _ = _cycle_time(TransposeMethod.ALLTOALL, None)
-    t_pipe0, ov0 = _cycle_time(TransposeMethod.PIPELINED, None)
+    t_sync0, _, _ = _cycle_time(TransposeMethod.ALLTOALL, None)
+    t_pipe0, ov0, pc_full = _cycle_time(TransposeMethod.PIPELINED, None)
 
     # regime 2: modelled per-volume wire latency, identical seconds/byte
-    t_sync, _ = _cycle_time(
+    t_sync, _, _ = _cycle_time(
         TransposeMethod.ALLTOALL, _wire_plan("alltoall", WIRE_S, calls_sync)
     )
-    t_pipe, ov = _cycle_time(
+    t_pipe, ov, _ = _cycle_time(
         TransposeMethod.PIPELINED,
         _wire_plan("ialltoallv", WIRE_S / STAGES, calls_pipe),
     )
+
+    # mixed-precision wire: same cycle, float32/complex64 payloads
+    _, _, pc_mixed = _cycle_time(TransposeMethod.PIPELINED, None, wire="mixed")
+    wire_frac = pc_mixed["bytes_wire"] / max(pc_mixed["bytes_full"], 1)
 
     hidden0 = ov0["bytes_overlapped"] / max(ov0["bytes_completed"], 1)
     hidden = ov["bytes_overlapped"] / max(ov["bytes_completed"], 1)
@@ -129,6 +135,18 @@ def test_overlap_transpose(benchmark):
         f"hidden comm fraction: {hidden0:.0%} (no latency), {hidden:.0%} (with latency)",
         f"exposed wait per cycle: {ov['wait_seconds'] / (ITERS + WARM) * 1e3:.2f} ms",
         "",
+        "bytes on the wire per rank (pipelined, zero-latency regime):",
+        fmt_row(("wire mode", "full f64", "mixed f32", "ratio"), widths),
+        fmt_row(
+            (
+                "payload bytes",
+                f"{pc_full['bytes_wire'] / 1e6:.1f} MB",
+                f"{pc_mixed['bytes_wire'] / 1e6:.1f} MB",
+                f"{wire_frac:.2f}",
+            ),
+            widths,
+        ),
+        "",
         "zero-latency bound: queue exchanges cost ~nothing, so staging/ack",
         "overhead makes the pipelined path slower on a single-core host;",
         "with per-byte wire time the staged exchanges hide behind the fused",
@@ -144,5 +162,9 @@ def test_overlap_transpose(benchmark):
     # the overlap machinery really ran and really hid communication
     assert ov["posts"] == calls_pipe
     assert hidden >= 0.5, f"only {hidden:.0%} of exchange bytes were hidden"
+    # the mixed wire really halves the payload (complex128 -> complex64)
+    assert wire_frac <= 0.55, (
+        f"mixed wire moved {wire_frac:.0%} of the float64 bytes (expected <= 55%)"
+    )
 
     benchmark(lambda: _cycle_time(TransposeMethod.PIPELINED, None))

@@ -85,6 +85,11 @@ class TransformPipeline:
         :func:`~repro.fft.plans.default_planner`.
     counters:
         Optional shared :class:`~repro.instrument.TransformCounters`.
+    wisdom:
+        Optional :class:`~repro.tuning.WisdomStore` persisting MEASURE
+        outcomes across processes; ``None`` defers to the planner's
+        store (itself defaulting to the ``REPRO_WISDOM`` env selection),
+        so a warm start re-plans the four stages without re-timing.
     """
 
     def __init__(
@@ -95,12 +100,14 @@ class TransformPipeline:
         flags: PlanFlags | str = PlanFlags.ESTIMATE,
         planner: Planner | None = None,
         counters: TransformCounters | None = None,
+        wisdom=None,
     ) -> None:
         self.grid = grid
         self.planner = planner if planner is not None else default_planner()
         self.flags = PlanFlags(flags) if isinstance(flags, str) else flags
         self.backend = backend
         self.workers = workers
+        self.wisdom = wisdom
         self.counters = counters if counters is not None else TransformCounters()
 
         g = grid
@@ -115,7 +122,7 @@ class TransformPipeline:
 
         # plan-once: the four 1-D stages of the (b)-(f)/(h) chain, each on
         # the contiguous last axis of its transform-major workspace layout
-        kw = dict(backend=backend, workers=workers, flags=self.flags)
+        kw = dict(backend=backend, workers=workers, flags=self.flags, wisdom=wisdom)
         zshape = (self._mx, self._ny, self._nzq)  # (x, y, z)
         self._plan_ifft_z = self.planner.plan("ifft", zshape, 2, **kw)
         self._plan_irfft_x = self.planner.plan(

@@ -21,6 +21,14 @@ OpenMP-threaded FFTs (Table 3):
 module-level :func:`default_planner` is the process-wide plan cache (the
 FFTW "wisdom" analogue) shared by the serial transform pipeline and the
 pencil-decomposed parallel FFT.
+
+MEASURE outcomes persist across processes through the
+:class:`~repro.tuning.WisdomStore` (FFTW's on-disk wisdom contract): a
+plan keyed identically in the store skips candidate timing entirely and
+adopts the recorded strategy — bit-identical to what a cold run would
+pick, since the strategy *is* the decision.  Every timed candidate run
+is counted in :data:`repro.tuning.MEASURE_STATS`, which is how warm
+starts assert they measured nothing.
 """
 
 from __future__ import annotations
@@ -94,6 +102,7 @@ class FFTPlan:
         flags: PlanFlags = PlanFlags.ESTIMATE,
         backend: str = "numpy",
         workers: int | None = None,
+        wisdom=None,
     ) -> None:
         if kind not in ("fft", "ifft", "rfft", "irfft"):
             raise ValueError(f"unknown transform kind {kind!r}")
@@ -104,10 +113,13 @@ class FFTPlan:
         self.flags = flags
         self.backend = resolve_backend(backend)
         self.workers = workers
+        #: True when the strategy was loaded from a wisdom store instead
+        #: of measured in this process
+        self.from_wisdom = False
         # copy-contiguous workspace; thread-local because cached plans are
         # shared across SimMPI rank threads in the pencil path
         self._tlocal = threading.local()
-        self.strategy, self.measured = self._plan()
+        self.strategy, self.measured = self._plan(wisdom)
 
     # ------------------------------------------------------------------
 
@@ -164,12 +176,24 @@ class FFTPlan:
             cands.append(_Candidate("copy-contiguous", self._copy_contiguous))
         return cands
 
-    def _plan(self) -> tuple[str, dict[str, float]]:
+    def _wisdom_key(self) -> list:
+        return [self.kind, list(self.shape), self.axis, self.nout, self.backend, self.workers]
+
+    def _plan(self, wisdom=None) -> tuple[str, dict[str, float]]:
         cands = self._candidates()
         if self.flags is PlanFlags.ESTIMATE or len(cands) == 1:
             # Heuristic: pocketfft handles strided input well enough that
             # direct is the default guess, like FFTW_ESTIMATE's cost model.
             return cands[0].name, {}
+        from repro.tuning import MEASURE_STATS, default_store
+
+        wisdom = wisdom if wisdom is not None else default_store()
+        names = [c.name for c in cands]
+        if wisdom is not None:
+            hit = wisdom.lookup("fft", self._wisdom_key())
+            if hit is not None and hit.get("strategy") in names:
+                self.from_wisdom = True
+                return hit["strategy"], dict(hit.get("timings") or {})
         dtype = complex if self.kind in ("fft", "ifft") else float
         probe = np.zeros(self.shape, dtype=dtype)
         timings: dict[str, float] = {}
@@ -180,8 +204,13 @@ class FFTPlan:
                 t0 = time.perf_counter()
                 cand.fn(probe)
                 best = min(best, time.perf_counter() - t0)
+                MEASURE_STATS.fft_candidates_timed += 1
             timings[cand.name] = best
         best = min(timings, key=timings.get)
+        if wisdom is not None:
+            wisdom.record(
+                "fft", self._wisdom_key(), {"strategy": best, "timings": timings}, timings
+            )
         return best, timings
 
     # ------------------------------------------------------------------
@@ -221,11 +250,16 @@ class Planner:
     ``backend``/``workers`` set the defaults for plans created through
     this planner; per-call overrides key separate cache entries, so one
     cache can serve mixed numpy/scipy users.
+
+    ``wisdom`` is the persistent :class:`~repro.tuning.WisdomStore`
+    consulted (and fed) by MEASURE-mode plans; ``None`` defers to the
+    process-wide ``REPRO_WISDOM``-selected store.
     """
 
     flags: PlanFlags = PlanFlags.ESTIMATE
     backend: str = "numpy"
     workers: int | None = None
+    wisdom: object | None = None
     _cache: dict = field(default_factory=dict)
 
     def plan(
@@ -237,14 +271,17 @@ class Planner:
         backend: str | None = None,
         workers: int | None = None,
         flags: PlanFlags | None = None,
+        wisdom=None,
     ) -> FFTPlan:
         backend = resolve_backend(self.backend if backend is None else backend)
         workers = self.workers if workers is None else workers
         flags = self.flags if flags is None else flags
+        wisdom = self.wisdom if wisdom is None else wisdom
         key = (kind, tuple(shape), axis, nout, backend, workers, flags)
         if key not in self._cache:
             self._cache[key] = FFTPlan(
-                kind, shape, axis, nout=nout, flags=flags, backend=backend, workers=workers
+                kind, shape, axis, nout=nout, flags=flags, backend=backend,
+                workers=workers, wisdom=wisdom,
             )
         return self._cache[key]
 

@@ -45,7 +45,7 @@ class FoldedLU:
     allocations.
     """
 
-    def __init__(self, matrix: FoldedBanded, check: bool = False, block: int | None = None) -> None:
+    def __init__(self, matrix: FoldedBanded, check: bool = False, block: int | str | None = None) -> None:
         self.spec = matrix.spec
         self.jlo = matrix.spec.jlo
         self.data = matrix.data.copy()
@@ -102,10 +102,24 @@ class FoldedLU:
     # solving (blocked engine)
     # ------------------------------------------------------------------
 
-    def engine(self, block: int | None = None) -> BandedSolveEngine:
+    def engine(self, block=None, wisdom=None) -> BandedSolveEngine:
         """The blocked sweep engine over these factors (built lazily,
-        cached per panel height)."""
-        b = int(block or self._block or default_block(self.spec.n))
+        cached per panel height).
+
+        ``block="measure"`` (at construction or here) selects the panel
+        height by timing candidates through
+        :func:`~repro.linalg.engine.measure_block` — wisdom-backed, so a
+        warmed machine re-selects without re-timing.
+        """
+        from_default = block is None
+        block = block if block is not None else self._block
+        if block == "measure":
+            from repro.linalg.engine import measure_block
+
+            block = measure_block(self, wisdom=wisdom)
+            if from_default:
+                self._block = block  # resolve once; hot solves skip the lookup
+        b = int(block or default_block(self.spec.n))
         if b not in self._engines:
             self._engines[b] = BandedSolveEngine(self, block=b)
         return self._engines[b]

@@ -48,6 +48,12 @@ class DistributedChannelDNS:
         Chrome trace (merge with
         :func:`repro.telemetry.merge_traces`); rank 0 writes the run
         manifest.
+    wire_precision:
+        ``"full"`` (default) or ``"mixed"`` — mixed down-casts transpose
+        payloads to float32/complex64 on the wire with float64
+        accumulation in the solves; the trajectory then matches the
+        full-precision one to the documented single-precision tolerance
+        (DESIGN.md §6h), not bit-for-bit.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class DistributedChannelDNS:
         pb: int,
         method: TransposeMethod | None = None,
         telemetry=None,
+        wire_precision: str = "full",
     ) -> None:
         if pa * pb != comm.size:
             raise ValueError(f"{pa} x {pb} != {comm.size} ranks")
@@ -82,6 +89,7 @@ class DistributedChannelDNS:
             dealias=True,
             method=method,
             timers=self.timers,
+            wire=wire_precision,
         )
         d = self.transforms.decomp
         self.decomp = d
@@ -271,6 +279,7 @@ def run_supervised_spmd(
     min_ranks: int = 1,
     timers: SectionTimers | None = None,
     telemetry=None,
+    wire_precision: str = "full",
 ):
     """Job-level supervised restart loop for the distributed DNS.
 
@@ -342,7 +351,8 @@ def run_supervised_spmd(
 
         def _prog(comm: Communicator):
             dns = DistributedChannelDNS(
-                comm, config, pa=cur_pa, pb=cur_pb, method=method, telemetry=attempt_tel
+                comm, config, pa=cur_pa, pb=cur_pb, method=method,
+                telemetry=attempt_tel, wire_precision=wire_precision,
             )
             rotation = ShardedCheckpointRotation(
                 checkpoint_dir, keep=keep, counters=counters

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.fft.fourier import quadrature_points
 from repro.fft.plans import Planner, default_planner
-from repro.instrument import OverlapCounters, SectionTimers
+from repro.instrument import OverlapCounters, PrecisionCounters, SectionTimers
 from repro.mpi.simmpi import CartesianCommunicator
 from repro.pencil.decomp import PencilDecomp, block_size
 from repro.pencil.transpose import GlobalTranspose, TransposeMethod
@@ -77,6 +77,12 @@ class PencilTransforms:
         :class:`~repro.fft.plans.Planner` supplying the per-pencil 1-D
         FFT plans; defaults to the process-wide shared cache, so the
         serial pipeline and every rank reuse each other's plans.
+    wire:
+        ``"full"`` (default) or ``"mixed"`` — mixed precision stages
+        float64/complex128 transpose payloads as float32/complex64 on
+        the wire with full-precision accumulation on assembly (see
+        :mod:`repro.pencil.transpose`); byte savings are accounted in
+        :attr:`precision_counters`.
     """
 
     drop_nyquist = True
@@ -91,6 +97,7 @@ class PencilTransforms:
         method: TransposeMethod | None = None,
         timers: SectionTimers | None = None,
         planner: Planner | None = None,
+        wire: str = "full",
     ) -> None:
         if len(cart.dims) != 2:
             raise ValueError("need a 2-D cartesian communicator (pa, pb)")
@@ -119,9 +126,17 @@ class PencilTransforms:
         #: communication/compute overlap accounting, shared by the four
         #: transposes (populated only when a pipelined method is active)
         self.overlap_counters = OverlapCounters()
+        #: mixed-precision wire accounting, shared by the four transposes
+        self.precision_counters = PrecisionCounters()
+        self.wire = wire
 
         kw = {"method": method} if method is not None else {}
-        kw.update(timers=self.timers, overlap=self.overlap_counters)
+        kw.update(
+            timers=self.timers,
+            overlap=self.overlap_counters,
+            wire=wire,
+            precision=self.precision_counters,
+        )
         self.t_yz = GlobalTranspose(self.comm_b, split_axis=2, concat_axis=1, **kw)
         self.t_zy = GlobalTranspose(self.comm_b, split_axis=1, concat_axis=2, **kw)
         self.t_zx = GlobalTranspose(self.comm_a, split_axis=1, concat_axis=0, **kw)
@@ -250,15 +265,19 @@ class PencilTransforms:
         """
         return self.from_physical(self.to_physical(spec))
 
-    def plan(self, probe: np.ndarray | None = None) -> dict[str, TransposeMethod]:
-        """Collectively measure transpose methods and fix the best ones."""
+    def plan(self, probe: np.ndarray | None = None, wisdom=None) -> dict[str, TransposeMethod]:
+        """Collectively measure transpose methods and fix the best ones.
+
+        ``wisdom`` (or the ``REPRO_WISDOM`` default) makes the choice
+        persistent: a warmed machine re-plans without re-timing.
+        """
         d = self.decomp
         if probe is None:
             probe = np.zeros(d.y_pencil_shape, dtype=complex)
-        choice_yz = self.t_yz.plan(probe)
+        choice_yz = self.t_yz.plan(probe, wisdom=wisdom)
         self.t_zy.method = choice_yz
         probe_zx = np.zeros(d.z_pencil_shape_phys, dtype=complex)
-        choice_zx = self.t_zx.plan(probe_zx)
+        choice_zx = self.t_zx.plan(probe_zx, wisdom=wisdom)
         self.t_xz.method = choice_zx
         return {"CommB": choice_yz, "CommA": choice_zx}
 

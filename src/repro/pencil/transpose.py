@@ -37,6 +37,26 @@ and instead runs the explicit ack credit protocol of
 Set ``REPRO_TRANSPOSE_METHOD`` (``alltoall`` / ``pairwise_sendrecv`` /
 ``pipelined``) to pin the method: :meth:`GlobalTranspose.plan` then
 skips measurement and deterministically applies the pin on every rank.
+Without a pin, :meth:`plan` consults the persistent
+:class:`~repro.tuning.WisdomStore` (rank 0 looks up, the decision is
+broadcast, so hit/miss patterns can never desynchronize the collective)
+and only measures on a true miss — the FFTW §4.3 "plan once per
+machine" contract.
+
+**Mixed-precision wire mode** (``wire="mixed"``): float64/complex128
+payloads are staged down to float32/complex64 before the exchange and
+accumulated back at full precision during assembly (``np.copyto`` /
+``np.concatenate`` up-cast on the receive side), halving the bytes on
+the wire at a relative error bounded by the float32 epsilon per pass.
+The staging pools were already keyed by dtype, so the narrow buffers
+slot in unchanged; CRC integrity envelopes checksum whatever payload is
+posted, and the overlap counters see the (halved) wire bytes.
+
+Both staging pools (parity pairs and pipelined slab buffers) are LRU
+caches capped at :data:`MAX_POOL_ENTRIES` distinct (shape, dtype) keys —
+mixed precision doubles the dtype churn, and an unbounded pool would
+leak across shape sweeps.  Evictions only drop this rank's reference;
+in-flight receivers keep the underlying arrays alive.
 """
 
 from __future__ import annotations
@@ -44,10 +64,11 @@ from __future__ import annotations
 import enum
 import os
 import time
+from collections import OrderedDict
 
 import numpy as np
 
-from repro.instrument import OverlapCounters, SectionTimers
+from repro.instrument import OverlapCounters, PrecisionCounters, SectionTimers
 from repro.mpi.simmpi import Communicator
 
 
@@ -59,6 +80,15 @@ class TransposeMethod(enum.Enum):
 
 #: env var pinning the transpose method (checked by :meth:`GlobalTranspose.plan`)
 ENV_METHOD = "REPRO_TRANSPOSE_METHOD"
+
+#: LRU cap on distinct (shape, dtype) keys per staging/slab buffer pool
+MAX_POOL_ENTRIES = 8
+
+#: full-precision dtype -> wire dtype of the mixed-precision mode
+_WIRE_NARROW = {
+    np.dtype(np.float64): np.dtype(np.float32),
+    np.dtype(np.complex128): np.dtype(np.complex64),
+}
 
 
 class GlobalTranspose:
@@ -92,6 +122,13 @@ class GlobalTranspose:
         Optional :class:`~repro.instrument.TransformCounters`; staging
         buffers are registered as pipeline workspace so the
         zero-allocation invariant covers them.
+    wire:
+        ``"full"`` (default) stages payloads at their own dtype;
+        ``"mixed"`` down-casts float64/complex128 to float32/complex64
+        on the wire, with full-precision accumulation on assembly.
+    precision:
+        Optional :class:`~repro.instrument.PrecisionCounters` receiving
+        the wire-vs-full byte accounting.
     """
 
     def __init__(
@@ -105,7 +142,11 @@ class GlobalTranspose:
         timers: SectionTimers | None = None,
         overlap: OverlapCounters | None = None,
         counters=None,
+        wire: str = "full",
+        precision: PrecisionCounters | None = None,
     ) -> None:
+        if wire not in ("full", "mixed"):
+            raise ValueError(f"wire must be 'full' or 'mixed', got {wire!r}")
         self.comm = comm
         self.split_axis = split_axis
         self.concat_axis = concat_axis
@@ -115,13 +156,25 @@ class GlobalTranspose:
         self.timers = timers
         self.overlap = overlap
         self.counters = counters
-        #: staging-allocation census: frozen after warm-up (one pair of
-        #: parity buffers per distinct input shape/dtype)
+        self.wire = wire
+        self.precision = precision
+        #: staging-allocation census: ``staging_allocs`` counts every
+        #: allocation ever made (frozen after warm-up on a fixed shape
+        #: set), ``staging_bytes`` the *live* pool footprint (evictions
+        #: subtract), ``staging_evictions`` the LRU drops
         self.staging_allocs = 0
         self.staging_bytes = 0
-        self._staging: dict[tuple, list[list[np.ndarray]]] = {}
+        self.staging_evictions = 0
+        self._staging: OrderedDict[tuple, list[list[np.ndarray]]] = OrderedDict()
         self._parity: dict[tuple, int] = {}
         self.pipelined = PipelinedTranspose(self, stages=stages)
+
+    def _wire_dtype(self, dtype) -> np.dtype:
+        """The dtype staged on the wire for a payload of ``dtype``."""
+        dtype = np.dtype(dtype)
+        if self.wire == "mixed":
+            return _WIRE_NARROW.get(dtype, dtype)
+        return dtype
 
     # ------------------------------------------------------------------
     # send-side staging
@@ -165,14 +218,33 @@ class GlobalTranspose:
             pair.append(views)
         return pair
 
+    def _evict_lru(self) -> None:
+        """Drop the least-recently-used staging pair beyond the pool cap.
+
+        Receivers still holding views of an evicted parity buffer keep
+        the array alive through their references; eviction only removes
+        this rank's pooled handle, so the protocol stays correct.
+        """
+        while len(self._staging) > MAX_POOL_ENTRIES:
+            old_key, old_pair = self._staging.popitem(last=False)
+            self._parity.pop(old_key, None)
+            self.staging_bytes -= sum(v.nbytes for views in old_pair for v in views)
+            self.staging_evictions += 1
+
     def _chunks(self, a: np.ndarray) -> list[np.ndarray]:
-        """Fill the next staging parity with per-destination chunks of ``a``."""
+        """Fill the next staging parity with per-destination chunks of ``a``
+        (down-casting to the wire dtype in the same write under mixed
+        precision)."""
+        wire_dtype = self._wire_dtype(a.dtype)
         key = (a.shape, a.dtype)
         pair = self._staging.get(key)
         if pair is None:
-            pair = self._alloc_staging(a.shape, a.dtype)
+            pair = self._alloc_staging(a.shape, wire_dtype)
             self._staging[key] = pair
             self._parity[key] = 0
+            self._evict_lru()
+        else:
+            self._staging.move_to_end(key)
         parity = self._parity[key]
         self._parity[key] = parity ^ 1
         views = pair[parity]
@@ -183,6 +255,11 @@ class GlobalTranspose:
             idx[self.split_axis] = slice(start, start + e)
             np.copyto(view, a[tuple(idx)])
             start += e
+        if self.precision is not None:
+            self.precision.exchanges += 1
+            self.precision.casts += wire_dtype != a.dtype
+            self.precision.bytes_full += a.nbytes
+            self.precision.bytes_wire += sum(v.nbytes for v in views)
         return views
 
     # ------------------------------------------------------------------
@@ -224,19 +301,55 @@ class GlobalTranspose:
             received = self._exchange_alltoall(chunks)
         else:
             received = self._exchange_pairwise(chunks)
-        return np.concatenate(received, axis=self.concat_axis)
+        # assembly up-casts back to the payload dtype when the wire ran
+        # narrow (full-precision accumulation downstream of the exchange)
+        return np.concatenate(received, axis=self.concat_axis, dtype=a.dtype)
 
-    def plan(self, probe: np.ndarray) -> TransposeMethod:
+    def _wisdom_key(self, probe: np.ndarray) -> list:
+        return [
+            self.comm.size,
+            self.split_axis,
+            self.concat_axis,
+            self.split_sizes,
+            list(probe.shape),
+            str(probe.dtype),
+            self.wire,
+        ]
+
+    def plan(self, probe: np.ndarray, wisdom=None) -> TransposeMethod:
         """Measure every method on a probe array and fix the fastest one.
 
         Collective: every member must call ``plan`` together.  When
         ``REPRO_TRANSPOSE_METHOD`` is set, measurement is skipped and the
         pinned method applied deterministically on every rank (the env is
-        process-wide, so the choice is trivially collective).
+        process-wide, so the choice is trivially collective).  Otherwise
+        the wisdom store is consulted first — rank 0 alone looks up and
+        the verdict is broadcast, so a store present on some ranks'
+        filesystem view but not others can never desynchronize the
+        collective — and only a true miss measures (recorded by rank 0).
+        ``wisdom=None`` defers to the ``REPRO_WISDOM`` selection.
         """
         pinned = os.environ.get(ENV_METHOD)
         if pinned:
             self.method = TransposeMethod(pinned)
+            self.measured = {}
+            return self.method
+        from repro.tuning import MEASURE_STATS, default_store
+
+        wisdom = wisdom if wisdom is not None else default_store()
+        key = self._wisdom_key(probe)
+        hit = None
+        if wisdom is not None:
+            if self.comm.rank == 0:
+                entry = wisdom.lookup("transpose", key)
+                value = entry.get("method") if entry else None
+            else:
+                value = None
+            value = self.comm.bcast(value, root=0)
+            if value in (m.value for m in TransposeMethod):
+                hit = TransposeMethod(value)
+        if hit is not None:
+            self.method = hit
             self.measured = {}
             return self.method
         timings = {}
@@ -248,9 +361,12 @@ class GlobalTranspose:
             self.comm.barrier()
             local = time.perf_counter() - t0
             timings[method.value] = max(self.comm.allgather(local))
+            MEASURE_STATS.transpose_methods_timed += 1
         self.measured = timings
         best = min(timings, key=timings.get)
         self.method = TransposeMethod(best)
+        if wisdom is not None and self.comm.rank == 0:
+            wisdom.record("transpose", key, {"method": best}, timings)
         return self.method
 
 
@@ -291,7 +407,7 @@ class PipelinedTranspose:
     def __init__(self, base: GlobalTranspose, stages: int = 4) -> None:
         self.base = base
         self.stages = max(1, int(stages))
-        self._slab_buffers: dict[tuple, np.ndarray] = {}
+        self._slab_buffers: OrderedDict[tuple, np.ndarray] = OrderedDict()
 
     # -- geometry --------------------------------------------------------
 
@@ -317,17 +433,25 @@ class PipelinedTranspose:
         return sizes, offsets
 
     def _slab_buffer(self, shape: tuple[int, ...], dtype) -> np.ndarray:
-        """Persistent assembly buffer for the transposed slab (post-hook path)."""
+        """Persistent assembly buffer for the transposed slab (post-hook
+        path); pooled LRU under the same :data:`MAX_POOL_ENTRIES` cap as
+        the parity staging."""
         key = (shape, dtype)
+        base = self.base
         buf = self._slab_buffers.get(key)
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
-            base = self.base
             base.staging_allocs += 1
             base.staging_bytes += buf.nbytes
             if base.counters is not None:
                 base.counters.count_workspace(buf)
             self._slab_buffers[key] = buf
+            while len(self._slab_buffers) > MAX_POOL_ENTRIES:
+                _, old = self._slab_buffers.popitem(last=False)
+                base.staging_bytes -= old.nbytes
+                base.staging_evictions += 1
+        else:
+            self._slab_buffers.move_to_end(key)
         return buf
 
     # -- hook timing -----------------------------------------------------

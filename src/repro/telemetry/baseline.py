@@ -134,6 +134,67 @@ def _case_pipelined_transpose() -> Callable[[], None]:
     return cycle
 
 
+#: the 1-D stage transforms a 32^3 pencil run plans along non-contiguous
+#: axes — the ones MEASURE actually times (last-axis plans have a single
+#: candidate and are free either way)
+WISDOM_PLAN_SET: tuple[tuple, ...] = (
+    ("fft", (32, 16, 33), 0, None),
+    ("ifft", (32, 16, 33), 1, None),
+    ("rfft", (32, 16, 33), 0, None),
+    ("irfft", (17, 16, 33), 0, 32),
+)
+
+
+def _case_warm_wisdom_plan() -> Callable[[], None]:
+    import tempfile
+
+    from repro.fft.plans import Planner, PlanFlags
+    from repro.tuning import WisdomStore
+
+    store = WisdomStore(pathlib.Path(tempfile.mkdtemp(prefix="wisdom-bench-")) / "wisdom.json")
+
+    def plan_all() -> None:
+        # a fresh Planner per call: the in-memory plan cache must not
+        # stand in for the store, only the wisdom lookups may
+        planner = Planner(flags=PlanFlags.MEASURE, wisdom=store)
+        for kind, shape, axis, nout in WISDOM_PLAN_SET:
+            planner.plan(kind, shape, axis, nout=nout)
+
+    plan_all()  # cold pass populates the store; timed passes are warm
+    return plan_all
+
+
+def _case_mixed_wire_transpose() -> Callable[[], None]:
+    from repro.core.grid import ChannelGrid
+    from repro.mpi.simmpi import run_spmd
+    from repro.pencil.parallel_fft import PencilTransforms
+    from repro.pencil.transpose import TransposeMethod
+
+    nx, ny, nz = 32, 16, 32
+    grid = ChannelGrid(nx, ny, nz)
+    rng = np.random.default_rng(0)
+    spec = rng.standard_normal(grid.spectral_shape) + 1j * rng.standard_normal(
+        grid.spectral_shape
+    )
+
+    def prog(comm):
+        cart = comm.cart_create((2, 2))
+        tr = PencilTransforms(
+            cart, nx, ny, nz, dealias=False, method=TransposeMethod.PIPELINED,
+            wire="mixed",
+        )
+        d = tr.decomp
+        loc = np.ascontiguousarray(spec[d.x_slice, d.z_spec_slice, :])
+        for _ in range(2):
+            loc = tr.fft_cycle(loc)
+        return True
+
+    def cycle() -> None:
+        run_spmd(4, prog)
+
+    return cycle
+
+
 def _case_dns_step() -> Callable[[], None]:
     from repro.core import ChannelConfig, ChannelDNS
 
@@ -155,6 +216,16 @@ HOT_PATH_CASES: tuple[BenchCase, ...] = (
         "pipelined_transpose_32",
         _case_pipelined_transpose,
         guards="PR 6 overlapped pencil transposes (2 fft_cycles, 4 ranks, 32x16x32)",
+    ),
+    BenchCase(
+        "warm_wisdom_plan_32",
+        _case_warm_wisdom_plan,
+        guards="PR 7 warm-start MEASURE planning from a populated wisdom store (32^3 pencil stage set)",
+    ),
+    BenchCase(
+        "mixed_wire_transpose_32",
+        _case_mixed_wire_transpose,
+        guards="PR 7 float32-payload pipelined transposes (2 fft_cycles, 4 ranks, 32x16x32)",
     ),
 )
 

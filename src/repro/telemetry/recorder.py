@@ -5,7 +5,7 @@ shares — serial :class:`~repro.core.solver.ChannelDNS`, per-rank
 :class:`~repro.pencil.distributed.DistributedChannelDNS`, the
 :class:`~repro.core.supervisor.RunSupervisor` and the job-level elastic
 loop.  Attached to a driver it emits one ``step`` record per timestep
-(section-time deltas, transform/solve/recovery/overlap counter deltas,
+(section-time deltas, transform/solve/recovery/overlap/precision counter deltas,
 dt, CFL, divergence, rank metadata) into an append-only JSON-lines stream, and
 optionally feeds a :class:`~repro.telemetry.trace.TraceWriter` so the
 same run opens in Perfetto.  A ``manifest.json`` (config fingerprint,
@@ -113,6 +113,7 @@ class RunRecorder:
         self._recovery = None
         self._mpi_stats = None
         self._overlap = None
+        self._precision = None
         self._since_flush = 0
         self._wall_total = 0.0
         self._steps_recorded = 0
@@ -172,6 +173,7 @@ class RunRecorder:
         backend = getattr(dns, "backend", None) or getattr(dns, "transforms", None)
         self._transforms = getattr(backend, "counters", None)
         self._overlap = getattr(backend, "overlap_counters", None)
+        self._precision = getattr(backend, "precision_counters", None)
         self._solve_fn = getattr(dns.stepper, "solve_counters", None)
         comm = getattr(dns, "comm", None)
         self._mpi_stats = getattr(comm, "stats", None)
@@ -225,6 +227,8 @@ class RunRecorder:
             )
         if self._overlap is not None:
             self._baseline_counts("overlap", self._overlap.snapshot())
+        if self._precision is not None:
+            self._baseline_counts("precision", self._precision.snapshot())
 
     @staticmethod
     def _counter_scalars(snapshot: dict) -> dict:
@@ -293,6 +297,8 @@ class RunRecorder:
             )
         if self._overlap is not None:
             rec["overlap"] = self._count_deltas("overlap", self._overlap.snapshot())
+        if self._precision is not None:
+            rec["precision"] = self._count_deltas("precision", self._precision.snapshot())
         self._write(rec)
         self.counters.records += 1
         t_end = time.perf_counter()

@@ -22,7 +22,7 @@ import pathlib
 from typing import Iterator
 
 #: version stamped into every record and the manifest
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: record types a stream may contain
 RECORD_TYPES = ("step", "event", "summary")
@@ -82,6 +82,14 @@ STEP_FIELDS: dict[str, tuple[bool, str]] = {
         "bytes_completed, bytes_overlapped, wait_seconds, overlap_seconds); per-rank, not "
         "world totals; absent when the backend exposes no overlap counters (serial runs, "
         "P3DFFT baseline) and all-zero when no transpose runs pipelined",
+    ),
+    "precision": (
+        False,
+        "PrecisionCounters deltas of the transpose wire format (exchanges, casts, "
+        "bytes_wire, bytes_full); bytes_full is what float64 payloads would have moved, "
+        "bytes_wire what was actually staged — equal under wire='full', roughly halved "
+        "under wire='mixed'; per-rank; absent when the backend exposes no precision "
+        "counters (serial runs, P3DFFT baseline)",
     ),
 }
 

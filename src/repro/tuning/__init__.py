@@ -1,0 +1,27 @@
+"""Persistent tuning wisdom (see :mod:`repro.tuning.wisdom`)."""
+
+from repro.tuning.wisdom import (
+    ENV_WISDOM,
+    MEASURE_STATS,
+    WISDOM_SCHEMA_VERSION,
+    MeasureStats,
+    WisdomCounters,
+    WisdomStore,
+    default_store,
+    machine_fingerprint,
+    make_key,
+    wisdom_provenance,
+)
+
+__all__ = [
+    "ENV_WISDOM",
+    "MEASURE_STATS",
+    "WISDOM_SCHEMA_VERSION",
+    "MeasureStats",
+    "WisdomCounters",
+    "WisdomStore",
+    "default_store",
+    "machine_fingerprint",
+    "make_key",
+    "wisdom_provenance",
+]

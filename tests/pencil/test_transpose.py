@@ -6,7 +6,12 @@ import pytest
 from repro.mpi.simmpi import run_spmd
 from repro.pencil.decomp import block_range
 from repro.pencil.reorder import chunked_reorder, reorder
-from repro.pencil.transpose import ENV_METHOD, GlobalTranspose, TransposeMethod
+from repro.pencil.transpose import (
+    ENV_METHOD,
+    MAX_POOL_ENTRIES,
+    GlobalTranspose,
+    TransposeMethod,
+)
 
 
 class TestReorder:
@@ -117,6 +122,62 @@ class TestGlobalTranspose:
             return True
 
         assert all(run_spmd(4, prog))
+
+    def test_staging_pool_is_lru_bounded(self):
+        """Shape churn beyond the cap evicts oldest entries, keeps live
+        bytes bounded, and never corrupts results (allocation discipline)."""
+
+        def prog(comm):
+            t = GlobalTranspose(comm, 0, 2)
+            nshapes = 2 * MAX_POOL_ENTRIES
+            inputs, outputs = [], []
+            for i in range(nshapes):
+                lo, hi = block_range(4 + i, comm.size, comm.rank)
+                a = np.arange(8.0 * (2 + i) * (hi - lo)).reshape(8, 2 + i, hi - lo)
+                inputs.append(a)
+                outputs.append(t.execute(a))
+            assert t.staging_evictions > 0
+            assert len(t._staging) <= MAX_POOL_ENTRIES
+            # live bytes track the pool, not the cumulative churn
+            live = sum(
+                v.nbytes for pair in t._staging.values() for views in pair for v in views
+            )
+            assert t.staging_bytes == live
+            assert t.staging_allocs >= nshapes  # cumulative, monotone
+            # re-executing every shape (including evicted ones) stays correct
+            for a, out in zip(inputs, outputs):
+                np.testing.assert_array_equal(t.execute(a), out)
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_pipelined_slab_pool_is_lru_bounded(self):
+        def prog(comm):
+            t = GlobalTranspose(comm, 0, 2, method=TransposeMethod.PIPELINED)
+            for i in range(2 * MAX_POOL_ENTRIES):
+                lo, hi = block_range(4 + i, comm.size, comm.rank)
+                a = np.arange(8.0 * (2 + i) * (hi - lo)).reshape(8, 2 + i, hi - lo)
+                ref = GlobalTranspose(comm, 0, 2).execute(a)
+                np.testing.assert_array_equal(t.execute(a), ref)
+            assert t.staging_evictions > 0
+            assert len(t.pipelined._slab_buffers) <= MAX_POOL_ENTRIES
+            return True
+
+        assert all(run_spmd(2, prog))
+
+    def test_repeated_shape_never_evicts(self):
+        """The steady-state single-shape hot loop keeps its freeze contract."""
+
+        def prog(comm):
+            lo, hi = block_range(10, comm.size, comm.rank)
+            a = np.arange(8.0 * 3 * (hi - lo)).reshape(8, 3, hi - lo)
+            t = GlobalTranspose(comm, 0, 2)
+            for _ in range(3 * MAX_POOL_ENTRIES):
+                t.execute(a)
+            assert t.staging_evictions == 0
+            return True
+
+        assert all(run_spmd(2, prog))
 
     def test_pipelined_hooks_fuse_compute(self):
         """pre scales before posting; post scales after assembly."""

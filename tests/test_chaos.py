@@ -3,8 +3,15 @@ and the full 25-seed sweep behind the ``soak`` marker."""
 
 import pytest
 
-from repro.chaos import random_fault_plan, run_chaos_soak, soak_summary
-from repro.pencil.transpose import TransposeMethod
+from repro.chaos import (
+    ChannelConfig,
+    random_fault_plan,
+    resolve_transpose_method,
+    run_chaos_soak,
+    soak_summary,
+)
+from repro.pencil.transpose import ENV_METHOD, TransposeMethod
+from repro.tuning import MEASURE_STATS, WisdomStore
 
 HEALTHY = {"completed", "recovered", "degraded"}
 
@@ -50,6 +57,45 @@ class TestShortSoak:
             (r.seed, r.classification, r.detail) for r in results
         ]
         assert set(summary["classifications"]) <= HEALTHY
+
+    def test_short_sweep_mixed_wire(self, tmp_path):
+        """Mixed-precision payloads compose with fault injection and
+        elastic shrink: graceful classifications against the serial
+        oracle at the documented single-precision tolerance."""
+        results = run_chaos_soak(
+            range(2), tmp_path, method=TransposeMethod.PIPELINED,
+            wire_precision="mixed", atol=2e-5,
+        )
+        summary = soak_summary(results)
+        assert summary["all_graceful"], [
+            (r.seed, r.classification, r.detail) for r in results
+        ]
+        assert set(summary["classifications"]) <= HEALTHY
+        # the sweep really exercised the fault machinery under mixed wire
+        assert summary["events_fired"] > 0
+
+
+class TestMethodResolution:
+    """The soak's transpose pin comes from the env or the wisdom cache —
+    the sweep itself never re-times methods per attempt."""
+
+    def test_env_pin_wins_without_timing(self, monkeypatch):
+        monkeypatch.setenv(ENV_METHOD, "pipelined")
+        MEASURE_STATS.reset()
+        m = resolve_transpose_method(None, 4, 2, 2)
+        assert m is TransposeMethod.PIPELINED
+        assert MEASURE_STATS.transpose_methods_timed == 0
+
+    def test_wisdom_warm_resolution_skips_timing(self, tmp_path):
+        cfg = ChannelConfig(nx=16, ny=24, nz=16, dt=2e-4, init_amplitude=0.5, seed=8)
+        store = WisdomStore(tmp_path / "wisdom.json")
+        MEASURE_STATS.reset()
+        cold = resolve_transpose_method(cfg, 4, 2, 2, wisdom=store)
+        assert MEASURE_STATS.transpose_methods_timed > 0
+        MEASURE_STATS.reset()
+        warm = resolve_transpose_method(cfg, 4, 2, 2, wisdom=store)
+        assert MEASURE_STATS.transpose_methods_timed == 0
+        assert warm is cold
 
 
 @pytest.mark.soak
