@@ -10,7 +10,11 @@ cheap next to the integration it protects.  This bench measures, on a
 * **reshard-restore** — the decomposition-agnostic path across a
   shrinking-allocation cascade ``8 -> 6 -> 4`` ranks (each stage
   reassembles from the previous stage's shards) plus the collapse to
-  serial ``1x1`` via ``load_serial``.
+  serial ``1x1`` via ``load_serial``,
+* **grow cascade** — the elastic-expansion path in the other direction:
+  a serial ``1x1`` snapshot grows back through ``2x2`` to ``2x4``
+  (what :func:`~repro.pencil.distributed.run_supervised_spmd` pays at
+  every ``GrowRequired`` boundary), bit-exact at every stage.
 
 Reported as wall time and effective MB/s over the snapshot's on-disk
 bytes; written to ``benchmarks/results/recovery.txt``.
@@ -134,10 +138,42 @@ def test_recovery_throughput(benchmark, tmp_path):
     row("reshard (4->serial 1x1)", 1, serial_s)
     np.testing.assert_array_equal(serial_dns.state.v, ref.v)
 
+    # the grow cascade: a serial 1x1 seed snapshot expands back through
+    # 2x2 to 2x4 — the price of every GrowRequired boundary in the
+    # elastic supervisor (same trajectory, so the shrink ref still pins)
+    grow_dir = tmp_path / "grow"
+
+    def serial_seed(comm):
+        dns = DistributedChannelDNS(comm, CFG, pa=1, pb=1)
+        dns.initialize()
+        dns.run(2)
+        rot = ShardedCheckpointRotation(grow_dir, keep=2)
+        return _median_timed(lambda: rot.save(dns))
+
+    row("save (serial 1x1)", 1, run_spmd(1, serial_seed)[0])
+    prev = 1
+    for nranks in (4, 8):
+        grow_s, full = _restore_stage(grow_dir, nranks, reshard=True)
+        pa, pb = choose_grid(nranks, MX, MZ, CFG.ny)
+        row(f"grow reshard ({prev}->{pa}x{pb})", nranks, grow_s)
+        np.testing.assert_array_equal(full.v, ref.v)  # growth stays bit-exact
+
+        def resnap(comm, pa=pa, pb=pb):
+            dns = DistributedChannelDNS(comm, CFG, pa=pa, pb=pb)
+            rot = ShardedCheckpointRotation(grow_dir, keep=2)
+            rot.load_latest(dns, reshard=True)
+            rot.save(dns)
+            return True
+
+        run_spmd(nranks, resnap)
+        prev = nranks
+
     lines += [
         "",
         f"snapshot size: {nbytes} bytes ({mb:.2f} MB) across the shard files;",
-        "the 8->6->4->1x1 cascade reassembles bit-exactly at every stage.",
+        "the 8->6->4->1x1 shrink cascade and the 1x1->2x2->2x4 grow",
+        "cascade both reassemble bit-exactly at every stage.",
     ]
     emit("recovery", "\n".join(lines))
     shutil.rmtree(stage_dir, ignore_errors=True)
+    shutil.rmtree(grow_dir, ignore_errors=True)

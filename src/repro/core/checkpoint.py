@@ -67,6 +67,36 @@ class CheckpointCorruptError(ValueError):
     """A checkpoint failed verification (bad container, checksum or manifest)."""
 
 
+class CheckpointUnrecoverableError(CheckpointCorruptError):
+    """Every candidate generation failed integrity — no fallback is left.
+
+    This is the rotation's terminal verdict, not a per-snapshot mismatch:
+    the newest snapshot *and* every older generation were tried and each
+    one was rejected.  ``generations`` preserves the full attribution as
+    ``[(snapshot_name, [failure, ...]), ...]`` in the order tried, where
+    each failure is ``{"rank", "path", "reason", "message"}`` (``rank``
+    is None for the serial rotation) — so a job manager can report which
+    rank's shard broke in which generation without parsing the message.
+    """
+
+    def __init__(self, directory, generations, kind: str = "checkpoint") -> None:
+        self.directory = pathlib.Path(directory)
+        self.generations = [(name, list(fails)) for name, fails in generations]
+        if self.generations:
+            detail = "; ".join(
+                f"{name}: " + "; ".join(f["message"] for f in fails)
+                for name, fails in self.generations
+            )
+        else:
+            detail = "no snapshots found"
+        super().__init__(f"no verifiable {kind} under {self.directory} ({detail})")
+
+
+def _failure(rank, path, reason, message) -> dict:
+    """One structured failure record of a rejected checkpoint generation."""
+    return {"rank": rank, "path": str(path), "reason": str(reason), "message": message}
+
+
 # ----------------------------------------------------------------------
 # low-level atomic, checksummed npz I/O
 # ----------------------------------------------------------------------
@@ -426,20 +456,23 @@ class CheckpointRotation:
         *,
         restore_runtime: bool | None = None,
     ) -> ChannelDNS:
-        """Restore the newest *verifiable* snapshot (fallback on corruption)."""
-        tried: list[str] = []
+        """Restore the newest *verifiable* snapshot (fallback on corruption).
+
+        When every generation fails, raises the typed
+        :class:`CheckpointUnrecoverableError` carrying per-generation
+        attribution instead of a generic fallback message."""
+        tried: list[tuple[str, list[dict]]] = []
         for path in self._candidates():
             ok, reason = verify_checkpoint(path)
             if not ok:
-                tried.append(f"{path.name}: {reason}")
+                tried.append(
+                    (path.name, [_failure(None, path, reason, str(reason))])
+                )
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
             return load_checkpoint(path, config=config, restore_runtime=restore_runtime)
-        detail = "; ".join(tried) if tried else "no snapshots found"
-        raise CheckpointCorruptError(
-            f"no verifiable checkpoint under {self.directory} ({detail})"
-        )
+        raise CheckpointUnrecoverableError(self.directory, tried)
 
 
 # ----------------------------------------------------------------------
@@ -584,13 +617,15 @@ class ShardedCheckpointRotation:
         every shard that is read is CRC-verified, shard failures are
         reported with *which* rank/shard failed and why, and an
         unverifiable snapshot is skipped by all ranks together so the
-        rotation falls back to the previous one.
+        rotation falls back to the previous one.  When *every* generation
+        fails, the typed :class:`CheckpointUnrecoverableError` carries
+        the per-generation, per-shard (rank, path, reason) attribution.
         """
         from repro.core.velocity import recover_uw
 
         comm = ddns.comm
         names = comm.bcast(self._candidate_names() if comm.rank == 0 else None, root=0)
-        tried: list[str] = []
+        tried: list[tuple[str, list[dict]]] = []
         for name in names:
             snap = self.directory / name
             payload = None
@@ -598,10 +633,18 @@ class ShardedCheckpointRotation:
                 try:
                     payload = (json.loads((snap / "manifest.json").read_text()), None)
                 except Exception as exc:  # noqa: BLE001 - skip unreadable snapshot
-                    payload = (None, f"{name}: manifest unreadable ({exc})")
+                    payload = (
+                        None,
+                        _failure(
+                            0,
+                            snap / "manifest.json",
+                            exc,
+                            f"manifest unreadable ({exc})",
+                        ),
+                    )
             manifest, reason = comm.bcast(payload, root=0)
             if manifest is None:
-                tried.append(reason)
+                tried.append((name, [reason]))
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
@@ -626,8 +669,7 @@ class ShardedCheckpointRotation:
             # name exactly which shard broke and all ranks branch together
             verdicts = comm.allgather((bool(ok), detail))
             if not all(v for v, _ in verdicts):
-                fails = "; ".join(d for v, d in verdicts if not v and d)
-                tried.append(f"{name}: {fails}")
+                tried.append((name, [d for v, d in verdicts if not v and d]))
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
@@ -643,9 +685,8 @@ class ShardedCheckpointRotation:
             if not same_layout and self.counters is not None:
                 self.counters.reshard_restores += 1
             return snap
-        detail = "; ".join(tried) if tried else "no snapshots found"
-        raise CheckpointCorruptError(
-            f"no verifiable sharded checkpoint under {self.directory} ({detail})"
+        raise CheckpointUnrecoverableError(
+            self.directory, tried, kind="sharded checkpoint"
         )
 
     def _load_own_shard(self, ddns, snap, manifest):
@@ -656,7 +697,16 @@ class ShardedCheckpointRotation:
             shard, arrays = _read_npz(snap / shard_name, verify=True)
             _check_shard(shard, manifest, rank=rank, a=ddns.decomp.a, b=ddns.decomp.b)
         except Exception as exc:  # noqa: BLE001 - reported, skipped collectively
-            return False, f"rank {rank}: shard {shard_name} failed verification ({exc})", None
+            return (
+                False,
+                _failure(
+                    rank,
+                    snap / shard_name,
+                    exc,
+                    f"rank {rank}: shard {shard_name} failed verification ({exc})",
+                ),
+                None,
+            )
         state = ChannelState(
             v=arrays["v"],
             omega_y=arrays["omega_y"],
@@ -673,12 +723,11 @@ class ShardedCheckpointRotation:
         mx = int(manifest.get("mx", ddns.transforms.mx))
         mz = int(manifest.get("mz", ddns.transforms.mz))
         if (mx, mz) != (ddns.transforms.mx, ddns.transforms.mz):
-            return (
-                False,
-                f"rank {rank}: snapshot spectral extents {mx}x{mz} != "
-                f"run's {ddns.transforms.mx}x{ddns.transforms.mz}",
-                None,
+            why = (
+                f"snapshot spectral extents {mx}x{mz} != "
+                f"run's {ddns.transforms.mx}x{ddns.transforms.mz}"
             )
+            return False, _failure(rank, snap, why, f"rank {rank}: {why}"), None
         try:
             v, omega_y, u00, w00 = _assemble_block(
                 snap,
@@ -691,7 +740,7 @@ class ShardedCheckpointRotation:
                 collect_mean=bool(ddns.modes.owns_mean),
             )
         except Exception as exc:  # noqa: BLE001 - reported, skipped collectively
-            return False, f"rank {rank}: {exc}", None
+            return False, _failure(rank, snap, exc, f"rank {rank}: {exc}"), None
         state = ChannelState(
             v=v, omega_y=omega_y, u00=u00, w00=w00, time=float(manifest["time"])
         )
@@ -711,13 +760,25 @@ class ShardedCheckpointRotation:
         No communicator involved — this is how a campaign's sharded
         snapshot is inspected or continued on a single process.
         """
-        tried: list[str] = []
+        tried: list[tuple[str, list[dict]]] = []
         for name in self._candidate_names():
             snap = self.directory / name
             try:
                 manifest = json.loads((snap / "manifest.json").read_text())
             except Exception as exc:  # noqa: BLE001 - fall back to older snapshot
-                tried.append(f"{name}: manifest unreadable ({exc})")
+                tried.append(
+                    (
+                        name,
+                        [
+                            _failure(
+                                None,
+                                snap / "manifest.json",
+                                exc,
+                                f"manifest unreadable ({exc})",
+                            )
+                        ],
+                    )
+                )
                 continue
             stored = manifest["config"]
             if restore_runtime is None:
@@ -740,7 +801,7 @@ class ShardedCheckpointRotation:
                     collect_mean=True,
                 )
             except Exception as exc:  # noqa: BLE001 - fall back to older snapshot
-                tried.append(f"{name}: {exc}")
+                tried.append((name, [_failure(None, snap, exc, str(exc))]))
                 if self.counters is not None:
                     self.counters.verify_failures += 1
                 continue
@@ -757,9 +818,8 @@ class ShardedCheckpointRotation:
             if self.counters is not None:
                 self.counters.reshard_restores += 1
             return dns
-        detail = "; ".join(tried) if tried else "no snapshots found"
-        raise CheckpointCorruptError(
-            f"no verifiable sharded checkpoint under {self.directory} ({detail})"
+        raise CheckpointUnrecoverableError(
+            self.directory, tried, kind="sharded checkpoint"
         )
 
 

@@ -29,6 +29,7 @@ a :class:`~repro.instrument.RecoveryCounters`, and the typed
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -59,6 +60,10 @@ class SupervisorPolicy:
     backoff_factor: float = 2.0
     #: delay ceiling in seconds
     backoff_max: float = 60.0
+    #: symmetric jitter fraction applied to each (bounded) delay so
+    #: co-scheduled jobs don't retry in lockstep; the draw sequence is
+    #: deterministic from the run seed.  0 disables (exact schedule).
+    backoff_jitter: float = 0.0
     #: dt multiplier applied after an UnstableError (graceful degradation)
     dt_factor: float = 0.5
     #: dt floor for degradation
@@ -71,6 +76,8 @@ class SupervisorPolicy:
             raise ValueError("max_retries must be >= 1")
         if not 0.0 < self.dt_factor < 1.0:
             raise ValueError("dt_factor must lie in (0, 1)")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must lie in [0, 1)")
 
 
 @dataclass
@@ -141,6 +148,13 @@ class RunSupervisor:
             rotation.counters = self.counters
         self.log: list[RecoveryEvent] = []
         self._sleep = sleep
+        # jitter draws come from the run seed, so a job's retry schedule is
+        # reproducible while co-scheduled jobs (different seeds) desynchronize
+        self._jitter_rng = (
+            random.Random(getattr(getattr(dns, "config", None), "seed", 0))
+            if self.policy.backoff_jitter > 0.0
+            else None
+        )
         self.recorder = recorder if recorder is not None else getattr(dns, "recorder", None)
         if self.recorder is not None:
             self.recorder.set_recovery_counters(self.counters)
@@ -238,6 +252,9 @@ class RunSupervisor:
     def _backoff(self, consecutive: int) -> None:
         p = self.policy
         delay = min(p.backoff_max, p.backoff_base * p.backoff_factor ** (consecutive - 1))
+        if self._jitter_rng is not None and delay > 0:
+            # ± backoff_jitter around the bounded nominal delay
+            delay *= 1.0 + p.backoff_jitter * (2.0 * self._jitter_rng.random() - 1.0)
         if delay > 0:
             self._sleep(delay)
 

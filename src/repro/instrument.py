@@ -38,7 +38,8 @@ supervisor (:mod:`repro.core.supervisor`) and the elastic job loop
 (:func:`repro.pencil.distributed.run_supervised_spmd`): snapshots
 saved/pruned, verification failures, watchdog trips, rollbacks,
 restarts, dt reductions — and, from the elastic layer, ``shrinks``
-(agreed survivor-set reductions after a rank death) and
+(agreed survivor-set reductions after a rank death), ``grows``
+(re-expansions of a degraded run onto returned ranks) and
 ``reshard_restores`` (snapshots reassembled onto a different process
 grid).  Together with the ``CHECKPOINT``/``RECOVERY``/``ELASTIC`` timer
 sections this is how a campaign's recovery history is surfaced.
@@ -345,8 +346,10 @@ class RecoveryCounters:
     job-level relaunches of an SPMD program, and ``dt_reductions`` the
     graceful-degradation steps taken after instability.  The elastic
     path adds ``shrinks`` (agreed survivor-set reductions after a rank
-    death) and ``reshard_restores`` (snapshots reassembled onto a
-    decomposition different from the one that wrote them).
+    death), ``grows`` (re-expansions of a degraded run back onto a
+    larger grid once ranks return) and ``reshard_restores`` (snapshots
+    reassembled onto a decomposition different from the one that wrote
+    them).
     """
 
     def __init__(self) -> None:
@@ -358,6 +361,7 @@ class RecoveryCounters:
         self.restarts = 0
         self.dt_reductions = 0
         self.shrinks = 0
+        self.grows = 0
         self.reshard_restores = 0
 
     def reset(self) -> None:
@@ -374,6 +378,7 @@ class RecoveryCounters:
             "restarts": self.restarts,
             "dt_reductions": self.dt_reductions,
             "shrinks": self.shrinks,
+            "grows": self.grows,
             "reshard_restores": self.reshard_restores,
         }
 
@@ -383,7 +388,7 @@ class RecoveryCounters:
             f"verify_failures={self.verify_failures}  failures={self.failures}  "
             f"rollbacks={self.rollbacks}  restarts={self.restarts}  "
             f"dt_reductions={self.dt_reductions}  shrinks={self.shrinks}  "
-            f"reshard_restores={self.reshard_restores}"
+            f"grows={self.grows}  reshard_restores={self.reshard_restores}"
         )
 
 

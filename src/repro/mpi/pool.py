@@ -1,0 +1,233 @@
+"""Shared rank pool: the placement substrate of the multi-job scheduler.
+
+A :class:`RankPool` is the census of a fixed set of *pool ranks* (think
+nodes of an allocation): every rank is at any moment **free**, **leased**
+to exactly one job, or **quarantined** after a failure.  Jobs never see
+pool ranks directly — a job runs an ordinary SimMPI SPMD program on
+world ranks ``0..n-1`` and the pool records which pool rank backs each
+world rank through a :class:`RankLease` (``lease.ranks[i]`` backs world
+rank ``i``).  Because leases are carved from disjoint subsets of the
+pool, concurrently running jobs are isolated by construction: a fault
+domain (:class:`~repro.mpi.simmpi._FailureDomain`) is per ``run_spmd``
+call, i.e. per lease.
+
+The quarantine protocol implements the issue's isolation demand: a rank
+that ULFM-fails inside job A is moved to quarantine by
+:meth:`RankPool.shrink` and is *not placeable* — neither job A growing
+back nor job B arriving can lease it — until :meth:`RankPool.probe`
+runs a health probe against it and returns it to the free set.
+
+:class:`LeaseGrowSource` is the elastic-expansion adapter consumed by
+:func:`repro.pencil.distributed.run_supervised_spmd`: a two-phase
+probe/commit view of one job's lease.  ``available()`` is the cheap
+racy probe rank 0 runs at checkpoint boundaries; ``claim(n)`` is the
+atomic all-or-nothing commit the supervisor issues once every rank has
+agreed (via broadcast) to grow — if a concurrent job won the race for
+the free ranks in between, ``claim`` returns ``False`` and the job
+simply continues at its current size.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class PoolExhausted(RuntimeError):
+    """An acquire asked for more ranks than the pool can currently place."""
+
+    def __init__(self, job: str, requested: int, free: int, quarantined: int) -> None:
+        super().__init__(
+            f"job {job!r} requested {requested} ranks but only {free} are free "
+            f"({quarantined} quarantined)"
+        )
+        self.job = job
+        self.requested = requested
+        self.free = free
+        self.quarantined = quarantined
+
+
+@dataclass(frozen=True)
+class RankLease:
+    """One job's exclusive claim on a set of pool ranks.
+
+    ``ranks[i]`` is the pool rank backing SPMD world rank ``i`` of the
+    job's program; the tuple is sorted, so placements are reproducible.
+    Instances are immutable snapshots — :meth:`RankPool.grow` and
+    :meth:`RankPool.shrink` return the successor lease.
+    """
+
+    job: str
+    ranks: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+
+class RankPool:
+    """Thread-safe free/leased/quarantined census of ``size`` pool ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"pool needs at least 1 rank, got {size}")
+        self.size = size
+        self._lock = threading.RLock()
+        self._free: set[int] = set(range(size))
+        self._leases: dict[str, RankLease] = {}
+        self._quarantined: dict[int, str] = {}
+
+    # -- census ----------------------------------------------------------
+
+    def free_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def quarantined_ranks(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._quarantined))
+
+    def lease(self, job: str) -> RankLease | None:
+        with self._lock:
+            return self._leases.get(job)
+
+    def census(self) -> dict:
+        """Point-in-time snapshot: free / per-job leases / quarantined."""
+        with self._lock:
+            return {
+                "size": self.size,
+                "free": sorted(self._free),
+                "leased": {j: list(l.ranks) for j, l in sorted(self._leases.items())},
+                "quarantined": {r: why for r, why in sorted(self._quarantined.items())},
+            }
+
+    # -- placement -------------------------------------------------------
+
+    def acquire(self, job: str, n: int) -> RankLease:
+        """Lease the ``n`` lowest free pool ranks to ``job`` (disjoint from
+        every other live lease by construction)."""
+        if n < 1:
+            raise ValueError(f"job {job!r} must lease at least 1 rank")
+        with self._lock:
+            if job in self._leases:
+                raise ValueError(f"job {job!r} already holds a lease")
+            if n > len(self._free):
+                raise PoolExhausted(job, n, len(self._free), len(self._quarantined))
+            ranks = tuple(sorted(self._free)[:n])
+            self._free.difference_update(ranks)
+            lease = RankLease(job, ranks)
+            self._leases[job] = lease
+            return lease
+
+    def release(self, job: str) -> None:
+        """Return a job's leased ranks to the free set."""
+        with self._lock:
+            lease = self._leases.pop(job, None)
+            if lease is None:
+                return
+            self._free.update(lease.ranks)
+
+    def grow(self, job: str, n: int) -> RankLease | None:
+        """Atomically extend a lease by ``n`` free ranks (all-or-nothing).
+
+        Returns the successor lease, or None when fewer than ``n`` ranks
+        are free — the caller lost the race and continues at its size.
+        """
+        if n < 1:
+            raise ValueError("grow needs n >= 1")
+        with self._lock:
+            lease = self._leases[job]
+            if n > len(self._free):
+                return None
+            extra = tuple(sorted(self._free)[:n])
+            self._free.difference_update(extra)
+            new = RankLease(job, tuple(sorted(lease.ranks + extra)))
+            self._leases[job] = new
+            return new
+
+    def shrink(
+        self, job: str, dead_local: Sequence[int], reason: str = "rank failure"
+    ) -> RankLease:
+        """Quarantine the pool ranks backing the dead world ranks of ``job``.
+
+        ``dead_local`` holds *world* ranks of the job's SPMD program (what
+        :class:`~repro.mpi.simmpi.ShrinkRequired` carries); the lease maps
+        them to pool ranks.  The successor lease keeps the survivors, so a
+        concurrently placed job can never be handed a quarantined rank.
+        """
+        with self._lock:
+            lease = self._leases[job]
+            dead_pool = {lease.ranks[r] for r in dead_local}
+            for pr in sorted(dead_pool):
+                self._quarantined[pr] = reason
+            new = RankLease(
+                job, tuple(r for r in lease.ranks if r not in dead_pool)
+            )
+            self._leases[job] = new
+            return new
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(self, pool_rank: int, reason: str = "manual") -> None:
+        """Move a free pool rank into quarantine (e.g. an external alert)."""
+        with self._lock:
+            if pool_rank in self._free:
+                self._free.discard(pool_rank)
+                self._quarantined[pool_rank] = reason
+            elif pool_rank not in self._quarantined:
+                raise ValueError(f"pool rank {pool_rank} is leased; shrink its job first")
+
+    def probe(self, prober: Callable[[int], bool] | None = None) -> list[int]:
+        """Health-probe every quarantined rank; healthy ranks return to the
+        free set.  The default prober declares every rank healthy (the
+        simulated node always comes back).  Returns the freed ranks.
+        """
+        if prober is None:
+            prober = lambda _r: True  # noqa: E731 - trivial default probe
+        with self._lock:
+            ranks = sorted(self._quarantined)
+        freed: list[int] = []
+        for pr in ranks:
+            healthy = bool(prober(pr))
+            with self._lock:
+                if healthy and pr in self._quarantined:
+                    del self._quarantined[pr]
+                    self._free.add(pr)
+                    freed.append(pr)
+        return freed
+
+
+class LeaseGrowSource:
+    """Two-phase grow source over one job's lease in a :class:`RankPool`.
+
+    ``available()`` (the checkpoint-boundary probe) first re-probes the
+    quarantine through ``prober`` *when one was given* — that is where a
+    failed rank re-enters service; without a prober, quarantined ranks
+    stay invisible — then reports the free count, capped at ``limit``
+    extra ranks when given.  ``claim(n)`` is the atomic commit; False
+    means a concurrent job won the free ranks between probe and commit.
+    """
+
+    def __init__(
+        self,
+        pool: RankPool,
+        job: str,
+        prober: Callable[[int], bool] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        self.pool = pool
+        self.job = job
+        self.prober = prober
+        self.limit = limit
+
+    def available(self) -> int:
+        if self.prober is not None:
+            self.pool.probe(self.prober)
+        n = self.pool.free_count()
+        if self.limit is not None:
+            n = min(n, self.limit)
+        return n
+
+    def claim(self, n: int) -> bool:
+        return self.pool.grow(self.job, n) is not None

@@ -143,6 +143,42 @@ class ShrinkRequired(RuntimeError):
         self.op = op
 
 
+class GrowRequired(RuntimeError):
+    """The supervisor should relaunch this program on more ranks.
+
+    Raised *collectively* (every rank, after a rank-0 broadcast of the
+    decision at a checkpoint boundary — so no rank is inside a collective
+    when it fires) by an elastic program that observed freed/returned
+    ranks in its :class:`~repro.mpi.pool.RankPool`.  ``ranks`` is the
+    target world size; the supervisor re-plans the grid and resumes
+    through the resharding reader.  Not a failure: it must escape
+    :func:`run_spmd` unwrapped, which the error-precedence rules
+    guarantee (it is not a ``SimMPIError``).
+    """
+
+    def __init__(self, ranks: int, current: int) -> None:
+        super().__init__(f"grow from {current} to {ranks} ranks")
+        self.ranks = int(ranks)
+        self.current = int(current)
+
+
+class PreemptRequired(RuntimeError):
+    """The supervisor should checkpoint-stop this program and requeue it.
+
+    Raised collectively (same broadcast-then-raise discipline as
+    :class:`GrowRequired`) when a scheduler asks a running job to yield
+    its ranks to a higher-priority job.  The program checkpoints before
+    raising, so preemption never loses work.  ``reason`` is the
+    scheduler-provided cause; ``step`` the last completed (and
+    checkpointed) step.
+    """
+
+    def __init__(self, reason: str = "preempted", step: int = -1) -> None:
+        super().__init__(f"{reason} at step {step}")
+        self.reason = reason
+        self.step = int(step)
+
+
 class _CheckedPayload:
     """Integrity envelope: a sender-side checksum traveling with the payload.
 
@@ -1241,6 +1277,11 @@ def run_spmd(
         except ShrinkRequired as exc:
             # an agreed shrink is an outcome, not a new failure: the
             # domain is already aborted and the census already complete
+            errors[rank] = exc
+        except (GrowRequired, PreemptRequired) as exc:
+            # cooperative outcomes, raised collectively after a rank-0
+            # broadcast at a checkpoint boundary — no rank is inside a
+            # collective, so there are no peers to abort
             errors[rank] = exc
         except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
             errors[rank] = exc

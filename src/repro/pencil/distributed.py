@@ -280,6 +280,10 @@ def run_supervised_spmd(
     timers: SectionTimers | None = None,
     telemetry=None,
     wire_precision: str = "full",
+    grow_source=None,
+    max_ranks: int | None = None,
+    should_stop: Callable[[], Any] | None = None,
+    on_shrink: Callable[[Sequence[int], Sequence[int]], Any] | None = None,
 ):
     """Job-level supervised restart loop for the distributed DNS.
 
@@ -312,21 +316,78 @@ def run_supervised_spmd(
     pinned by ``tests/pencil/test_checkpoint.py`` and
     ``tests/pencil/test_elastic.py``.
 
+    Elastic *expansion* is the symmetric move: ``grow_source`` (an
+    ``available()``/``claim(n)`` two-phase view of a shared rank pool,
+    e.g. :class:`~repro.mpi.pool.LeaseGrowSource`) is probed by rank 0
+    at every checkpoint boundary; when free ranks can take the job back
+    toward its original ``nranks``, the decision is broadcast and every
+    rank raises the same :class:`~repro.mpi.simmpi.GrowRequired` — no
+    rank is inside a collective, so the teardown is clean.  The
+    supervisor then atomically claims the ranks (a concurrent job may
+    win the race, in which case the run simply resumes at its current
+    size), re-plans the grid and resumes through the resharding reader.
+    Because restores are bit-exact and the trajectory is grid-invariant,
+    the grown run is bit-identical to an uninterrupted run at the grown
+    grid (pinned by ``tests/pencil/test_elastic.py``).  Growth never
+    exceeds ``max_ranks`` (default: the launched ``nranks`` — a job the
+    scheduler placed *below* its request passes its full request here)
+    and never consumes the restart budget.
+
+    ``should_stop`` is the scheduler's preemption hook, probed (rank 0,
+    then broadcast) at the same boundaries: a truthy return — the reason
+    — makes every rank raise
+    :class:`~repro.mpi.simmpi.PreemptRequired` *after* the boundary
+    snapshot landed, so preemption never loses checkpointed work.  The
+    exception propagates to the caller (the
+    :class:`~repro.core.jobs.JobManager` requeues the job).
+    ``on_shrink(dead, survivors)`` is called with the agreed world-rank
+    sets on every shrink, letting a pool quarantine the backing ranks
+    while the job keeps running.
+
     ``telemetry`` (a directory or
     :class:`~repro.telemetry.TelemetryConfig`) turns on structured run
     recording: each attempt writes per-rank streams and traces under
     ``<dir>/attempt-NN/``, and a job-level ``events.jsonl`` (``rank=-1``)
-    records every restart, shrink and give-up decision of this loop.
+    records every restart, shrink, grow, preemption and give-up decision
+    of this loop.
     """
     from repro.core.checkpoint import ShardedCheckpointRotation
     from repro.core.health import HealthCheckError
     from repro.core.supervisor import RecoveryEvent
-    from repro.mpi.simmpi import RankFailure, ShrinkRequired, SimMPIError, run_spmd
+    from repro.mpi.simmpi import (
+        GrowRequired,
+        PreemptRequired,
+        RankFailure,
+        ShrinkRequired,
+        SimMPIError,
+        run_spmd,
+    )
     from repro.pencil.decomp import choose_grid
 
     log: list[RecoveryEvent] = []
     if timers is None:
         timers = SectionTimers()
+    mx, mz = config.nx // 2, config.nz - 1
+    rank_cap = nranks if max_ranks is None else max(max_ranks, nranks)
+
+    def _grow_target(cur: int) -> int | None:
+        """Largest feasible world size to grow to, or None.
+
+        Capped at ``rank_cap`` and at what the source reports free;
+        stepped down until :func:`choose_grid` accepts the count (a
+        prime count with tight extents may admit no grid)."""
+        if grow_source is None or cur >= rank_cap:
+            return None
+        avail = grow_source.available()
+        if avail <= 0:
+            return None
+        for n in range(min(rank_cap, cur + avail), cur, -1):
+            try:
+                choose_grid(n, mx, mz, config.ny)
+            except ValueError:
+                continue
+            return n
+        return None
 
     tel_cfg = None
     job_rec = None
@@ -371,13 +432,38 @@ def run_supervised_spmd(
             if counters is not None and dns.recorder is not None:
                 dns.recorder.set_recovery_counters(counters)
             monitor = monitor_factory() if monitor_factory is not None else None
+            probed = should_stop is not None or grow_source is not None
             try:
                 while dns.step_count < n_steps:
                     dns.step()
                     if monitor is not None:
                         monitor(dns)
-                    if dns.step_count % checkpoint_every == 0 or dns.step_count >= n_steps:
+                    at_boundary = (
+                        dns.step_count % checkpoint_every == 0
+                        or dns.step_count >= n_steps
+                    )
+                    if at_boundary:
                         rotation.save(dns)
+                    if at_boundary and probed and dns.step_count < n_steps:
+                        # scheduler control point: the boundary snapshot just
+                        # landed, so a stop here loses nothing.  Rank 0 decides,
+                        # everyone hears the same verdict, nobody is inside a
+                        # collective when the typed control exception fires.
+                        decision = None
+                        if comm.rank == 0:
+                            reason = should_stop() if should_stop is not None else None
+                            if reason:
+                                decision = ("stop", str(reason))
+                            else:
+                                target = _grow_target(comm.size)
+                                if target is not None:
+                                    decision = ("grow", target)
+                        decision = comm.bcast(decision, root=0)
+                        if decision is not None:
+                            kind, val = decision
+                            if kind == "stop":
+                                raise PreemptRequired(val, step=dns.step_count)
+                            raise GrowRequired(val, comm.size)
                 return dns.gather_state()
             finally:
                 # runs on the failure path too, so a crashed attempt still
@@ -412,6 +498,10 @@ def run_supervised_spmd(
                 return results[0], log
             except ShrinkRequired as exc:
                 nsurv = len(exc.survivors)
+                # quarantine the dead ranks even when the job is about to
+                # give up — the pool must stay honest either way
+                if on_shrink is not None:
+                    on_shrink(exc.dead, exc.survivors)
                 if nsurv < min_ranks:
                     if job_rec is not None:
                         job_rec.record_event(
@@ -423,8 +513,6 @@ def run_supervised_spmd(
                         )
                     raise
                 with timers.section(SectionTimers.ELASTIC):
-                    mx = config.nx // 2
-                    mz = config.nz - 1
                     new_pa, new_pb = choose_grid(nsurv, mx, mz, config.ny)
                 detail = (
                     f"{exc}; re-planned {cur_pa}x{cur_pb} -> "
@@ -451,6 +539,58 @@ def run_supervised_spmd(
                     counters.shrinks += 1
                 cur_n, cur_pa, cur_pb = nsurv, new_pa, new_pb
                 attempt += 1
+            except GrowRequired as exc:
+                with timers.section(SectionTimers.ELASTIC):
+                    claimed = grow_source.claim(exc.ranks - cur_n)
+                    if claimed:
+                        new_n = exc.ranks
+                        new_pa, new_pb = choose_grid(new_n, mx, mz, config.ny)
+                    else:
+                        # a concurrent job won the free ranks between probe
+                        # and commit: resume at the current size, no event
+                        new_n, new_pa, new_pb = cur_n, cur_pa, cur_pb
+                if claimed:
+                    detail = (
+                        f"{exc}; re-planned {cur_pa}x{cur_pb} -> "
+                        f"{new_pa}x{new_pb} on {new_n} ranks"
+                    )
+                    log.append(
+                        RecoveryEvent(
+                            step=-1,
+                            kind="grow",
+                            detail=detail,
+                            attempt=attempt,
+                            info={"ranks": new_n, "pa": new_pa, "pb": new_pb},
+                        )
+                    )
+                    if job_rec is not None:
+                        job_rec.record_event(
+                            "grow",
+                            step=-1,
+                            detail=detail,
+                            attempt=attempt,
+                            info={"ranks": new_n, "pa": new_pa, "pb": new_pb},
+                        )
+                    if counters is not None:
+                        counters.grows += 1
+                cur_n, cur_pa, cur_pb = new_n, new_pa, new_pb
+                attempt += 1
+            except PreemptRequired as exc:
+                detail = f"PreemptRequired: {exc}"
+                log.append(
+                    RecoveryEvent(
+                        step=exc.step, kind="preempted", detail=detail, attempt=attempt
+                    )
+                )
+                if job_rec is not None:
+                    job_rec.record_event(
+                        "preempted",
+                        step=exc.step,
+                        detail=detail,
+                        attempt=attempt,
+                        info={"ranks": cur_n, "reason": exc.reason},
+                    )
+                raise
             except (SimMPIError, RankFailure, HealthCheckError) as exc:
                 step = getattr(exc, "step", None) or -1
                 detail = f"{type(exc).__name__}: {exc}"

@@ -195,6 +195,52 @@ def _case_mixed_wire_transpose() -> Callable[[], None]:
     return cycle
 
 
+def _case_grow_cascade() -> Callable[[], None]:
+    """The elastic-expansion restore path: a serial ``1x1`` snapshot
+    reshards up through ``2x2`` to ``2x4`` — what the supervisor pays at
+    every ``GrowRequired`` boundary."""
+    import shutil
+    import tempfile
+
+    from repro.core import ChannelConfig
+    from repro.core.checkpoint import ShardedCheckpointRotation
+    from repro.mpi.simmpi import run_spmd
+    from repro.pencil.distributed import DistributedChannelDNS
+
+    cfg = ChannelConfig(nx=32, ny=33, nz=32, dt=4e-4, init_amplitude=1.0, seed=11)
+    base = pathlib.Path(tempfile.mkdtemp(prefix="grow-bench-"))
+    seed_dir = base / "serial"
+    stage_dir = base / "stage"
+
+    def seed(comm):
+        dns = DistributedChannelDNS(comm, cfg, pa=1, pb=1)
+        dns.initialize()
+        dns.run(1)
+        ShardedCheckpointRotation(seed_dir, keep=2).save(dns)
+        return True
+
+    run_spmd(1, seed)
+
+    def cascade() -> None:
+        shutil.rmtree(stage_dir, ignore_errors=True)
+
+        def grow_2x2(comm):
+            dns = DistributedChannelDNS(comm, cfg, pa=2, pb=2)
+            ShardedCheckpointRotation(seed_dir, keep=2).load_latest(dns, reshard=True)
+            ShardedCheckpointRotation(stage_dir, keep=2).save(dns)
+            return True
+
+        def grow_2x4(comm):
+            dns = DistributedChannelDNS(comm, cfg, pa=2, pb=4)
+            ShardedCheckpointRotation(stage_dir, keep=2).load_latest(dns, reshard=True)
+            return True
+
+        run_spmd(4, grow_2x2)
+        run_spmd(8, grow_2x4)
+
+    return cascade
+
+
 def _case_dns_step() -> Callable[[], None]:
     from repro.core import ChannelConfig, ChannelDNS
 
@@ -226,6 +272,11 @@ HOT_PATH_CASES: tuple[BenchCase, ...] = (
         "mixed_wire_transpose_32",
         _case_mixed_wire_transpose,
         guards="PR 7 float32-payload pipelined transposes (2 fft_cycles, 4 ranks, 32x16x32)",
+    ),
+    BenchCase(
+        "grow_cascade_32",
+        _case_grow_cascade,
+        guards="PR 9 elastic-expansion reshard restore (1x1 -> 2x2 -> 2x4, 32x33x32)",
     ),
 )
 

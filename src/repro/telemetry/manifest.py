@@ -98,12 +98,15 @@ def build_manifest(
     nranks: int = 1,
     grid: tuple[int, int] | None = None,
     extra: dict | None = None,
+    pool: dict | None = None,
 ) -> dict:
     """Assemble the manifest dict for one run.
 
     ``grid`` is the SPMD process grid ``(pa, pb)`` when applicable;
     ``extra`` is merged in verbatim under ``"extra"`` (campaign ids,
-    scheduler job ids, ...).
+    scheduler job ids, ...).  ``pool`` is the rank-pool block of a
+    multi-job scheduler manifest (a :meth:`~repro.mpi.pool.RankPool.census`
+    snapshot plus submitted-job metadata); ``None`` for single runs.
     """
     cfg_dict, fingerprint = config_fingerprint(config)
     try:
@@ -124,6 +127,7 @@ def build_manifest(
         "nranks": int(nranks),
         "process_grid": list(grid) if grid is not None else None,
         "wisdom": wisdom,
+        "pool": dict(pool) if pool else None,
         "extra": dict(extra) if extra else {},
     }
 

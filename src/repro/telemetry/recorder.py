@@ -358,25 +358,33 @@ class RunRecorder:
         detail: str = "",
         attempt: int = 0,
         info: dict | None = None,
+        job: str | None = None,
     ) -> None:
-        """Emit one ``event`` record (opens the stream if needed)."""
+        """Emit one ``event`` record (opens the stream if needed).
+
+        ``job`` tags the record with the owning job's name — set by
+        manager-level streams (a :class:`~repro.core.jobs.JobManager`
+        ``events.jsonl`` interleaves several jobs' events), absent in
+        single-run streams.
+        """
         self.open()
         if step is None:
             step = self._dns.step_count if self._dns is not None else -1
-        self._write(
-            {
-                "type": "event",
-                "schema": SCHEMA_VERSION,
-                "t_unix": time.time(),
-                "step": int(step),
-                "kind": kind,
-                "detail": detail,
-                "attempt": int(attempt),
-                "info": info or {},
-                "rank": self.rank,
-                "nranks": self.nranks,
-            }
-        )
+        rec = {
+            "type": "event",
+            "schema": SCHEMA_VERSION,
+            "t_unix": time.time(),
+            "step": int(step),
+            "kind": kind,
+            "detail": detail,
+            "attempt": int(attempt),
+            "info": info or {},
+            "rank": self.rank,
+            "nranks": self.nranks,
+        }
+        if job is not None:
+            rec["job"] = job
+        self._write(rec)
         self.counters.events += 1
         self.flush()
 

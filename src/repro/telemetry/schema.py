@@ -21,8 +21,11 @@ import json
 import pathlib
 from typing import Iterator
 
-#: version stamped into every record and the manifest
-SCHEMA_VERSION = 3
+#: version stamped into every record and the manifest.
+#: v4 added the optional ``job`` event field (multi-job scheduler: a
+#: manager-level ``events.jsonl`` interleaves events of several jobs)
+#: and the pool/job lifecycle event kinds.
+SCHEMA_VERSION = 4
 
 #: record types a stream may contain
 RECORD_TYPES = ("step", "event", "summary")
@@ -67,8 +70,8 @@ STEP_FIELDS: dict[str, tuple[bool, str]] = {
     "recovery": (
         False,
         "RecoveryCounters deltas (checkpoints_saved/pruned, verify_failures, failures, "
-        "rollbacks, restarts, dt_reductions, shrinks, reshard_restores); absent until "
-        "recovery counters are wired in (supervised runs)",
+        "rollbacks, restarts, dt_reductions, shrinks, grows, reshard_restores); absent "
+        "until recovery counters are wired in (supervised runs)",
     ),
     "mpi": (
         False,
@@ -101,14 +104,21 @@ EVENT_FIELDS: dict[str, tuple[bool, str]] = {
     "step": (True, "driver step count when the event fired (-1 when unknown/job-level)"),
     "kind": (
         True,
-        "event kind: failure | rollback | dt_reduction | restart | shrink | giving_up | "
-        "attach | soak_result | soak_summary | custom kinds",
+        "event kind: failure | rollback | dt_reduction | restart | shrink | grow | "
+        "preempted | giving_up | attach | soak_result | soak_summary | custom kinds; "
+        "manager-level streams add the job lifecycle kinds submitted | placed | "
+        "completed | failed | requeued | quarantine | probe",
     ),
     "detail": (True, "human-readable one-liner"),
     "attempt": (True, "retry attempt index the event belongs to (0 outside retry loops)"),
     "info": (True, "structured extras, e.g. a shrink's {ranks, pa, pb} (object, may be empty)"),
     "rank": (True, "emitting rank (-1 for job-level supervisors outside the SPMD program)"),
     "nranks": (True, "world size of the run"),
+    "job": (
+        False,
+        "job name the event belongs to; present in manager-level streams "
+        "(JobManager events.jsonl), absent in single-run streams",
+    ),
 }
 
 #: ``type: "summary"`` — last record of a cleanly closed stream

@@ -233,6 +233,58 @@ class TestRetryAccounting:
             sup.run(4, callback=always_nan_at_1)
         assert delays == [0.1, 0.2, 0.25]
 
+    def test_backoff_jitter_schedule_pinned_by_seed(self, tmp_path):
+        """Jittered delays are ± jitter around the bounded nominal delay,
+        with the draw sequence pinned by the run seed — reproducible per
+        job, desynchronized across co-scheduled jobs."""
+        import random
+
+        def run_once(cfg):
+            delays = []
+
+            def always_nan_at_1(dns):
+                if dns.step_count == 1:
+                    dns.state.v[0, 0, 0] = np.nan
+
+            dns = ChannelDNS(cfg)
+            dns.initialize()
+            sup = RunSupervisor(
+                dns,
+                CheckpointRotation(tmp_path / f"seed-{cfg.seed}-{len(list(tmp_path.iterdir()))}"),
+                monitor=HealthMonitor(),
+                policy=SupervisorPolicy(
+                    checkpoint_every=10,
+                    max_retries=3,
+                    backoff_base=0.1,
+                    backoff_factor=2.0,
+                    backoff_max=0.25,
+                    backoff_jitter=0.5,
+                ),
+                sleep=delays.append,
+            )
+            with pytest.raises(SupervisorGivingUp):
+                sup.run(4, callback=always_nan_at_1)
+            return delays
+
+        delays = run_once(CFG)
+        rng = random.Random(CFG.seed)
+        expected = [
+            d * (1.0 + 0.5 * (2.0 * rng.random() - 1.0)) for d in (0.1, 0.2, 0.25)
+        ]
+        assert delays == expected  # the exact jittered schedule, pinned
+        for got, nominal in zip(delays, (0.1, 0.2, 0.25)):
+            assert 0.5 * nominal <= got <= 1.5 * nominal
+        # same seed -> same schedule; different seed -> a different one
+        assert run_once(CFG) == delays
+        import dataclasses
+
+        other = run_once(dataclasses.replace(CFG, seed=14))
+        assert other != delays
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            SupervisorPolicy(backoff_jitter=1.0)
+
     def test_unexpected_exceptions_propagate_raw(self, tmp_path):
         def boom(dns):
             raise KeyError("not a recoverable failure")

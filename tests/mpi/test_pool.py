@@ -1,0 +1,165 @@
+"""RankPool census, placement disjointness, quarantine and grow-source tests."""
+
+import threading
+
+import pytest
+
+from repro.mpi.pool import LeaseGrowSource, PoolExhausted, RankLease, RankPool
+
+
+class TestPlacement:
+    def test_acquire_leases_lowest_free_ranks(self):
+        pool = RankPool(8)
+        a = pool.acquire("a", 3)
+        assert a.ranks == (0, 1, 2)
+        b = pool.acquire("b", 4)
+        assert b.ranks == (3, 4, 5, 6)
+        assert pool.free_count() == 1
+
+    def test_leases_are_disjoint(self):
+        pool = RankPool(8)
+        a = pool.acquire("a", 4)
+        b = pool.acquire("b", 4)
+        assert not set(a.ranks) & set(b.ranks)
+
+    def test_exhaustion_is_typed_with_census(self):
+        pool = RankPool(4)
+        pool.acquire("a", 3)
+        with pytest.raises(PoolExhausted) as exc:
+            pool.acquire("b", 2)
+        assert exc.value.requested == 2 and exc.value.free == 1
+
+    def test_double_lease_rejected(self):
+        pool = RankPool(4)
+        pool.acquire("a", 2)
+        with pytest.raises(ValueError, match="already holds"):
+            pool.acquire("a", 1)
+
+    def test_release_returns_ranks(self):
+        pool = RankPool(4)
+        pool.acquire("a", 4)
+        pool.release("a")
+        assert pool.free_count() == 4
+        assert pool.lease("a") is None
+
+    def test_census_snapshot(self):
+        pool = RankPool(4)
+        pool.acquire("a", 2)
+        pool.quarantine(3, "flaky")
+        c = pool.census()
+        assert c == {
+            "size": 4,
+            "free": [2],
+            "leased": {"a": [0, 1]},
+            "quarantined": {3: "flaky"},
+        }
+
+
+class TestQuarantine:
+    def test_shrink_quarantines_dead_pool_ranks(self):
+        pool = RankPool(6)
+        pool.acquire("a", 4)  # pool ranks 0-3
+        new = pool.shrink("a", dead_local=[1])
+        assert new.ranks == (0, 2, 3)
+        assert pool.quarantined_ranks() == (1,)
+
+    def test_quarantined_rank_never_placed(self):
+        """Isolation: a rank failed in job A is invisible to job B."""
+        pool = RankPool(4)
+        pool.acquire("a", 2)
+        pool.shrink("a", dead_local=[0])  # pool rank 0 quarantined
+        pool.release("a")
+        b = pool.acquire("b", 3)
+        assert 0 not in b.ranks
+        with pytest.raises(PoolExhausted):
+            pool.acquire("c", 1)
+
+    def test_shrink_maps_local_to_pool_ranks(self):
+        """World rank i maps through lease.ranks[i] — after a first shrink
+        the mapping is no longer the identity."""
+        pool = RankPool(4)
+        pool.acquire("a", 4)
+        pool.shrink("a", dead_local=[1])  # lease now (0, 2, 3)
+        new = pool.shrink("a", dead_local=[1])  # local 1 -> pool rank 2
+        assert new.ranks == (0, 3)
+        assert pool.quarantined_ranks() == (1, 2)
+
+    def test_probe_frees_healthy_ranks_only(self):
+        pool = RankPool(4)
+        pool.quarantine(1, "x")
+        pool.quarantine(2, "y")
+        freed = pool.probe(lambda r: r == 2)
+        assert freed == [2]
+        assert pool.quarantined_ranks() == (1,)
+        assert 2 in pool.census()["free"]
+
+    def test_quarantine_leased_rank_rejected(self):
+        pool = RankPool(2)
+        pool.acquire("a", 2)
+        with pytest.raises(ValueError, match="leased"):
+            pool.quarantine(0)
+
+
+class TestGrowSource:
+    def test_probe_then_commit(self):
+        pool = RankPool(4)
+        pool.acquire("a", 2)
+        src = LeaseGrowSource(pool, "a")
+        assert src.available() == 2
+        assert src.claim(2)
+        assert pool.lease("a").ranks == (0, 1, 2, 3)
+
+    def test_claim_is_all_or_nothing(self):
+        pool = RankPool(4)
+        pool.acquire("a", 3)
+        src = LeaseGrowSource(pool, "a")
+        assert not src.claim(2)  # only 1 free
+        assert pool.lease("a").ranks == (0, 1, 2)
+        assert pool.free_count() == 1
+
+    def test_without_prober_quarantine_stays_invisible(self):
+        pool = RankPool(3)
+        pool.acquire("a", 2)
+        pool.shrink("a", dead_local=[1])
+        assert LeaseGrowSource(pool, "a").available() == 1  # rank 2 only
+
+    def test_prober_returns_failed_rank_to_service(self):
+        pool = RankPool(2)
+        pool.acquire("a", 2)
+        pool.shrink("a", dead_local=[1])
+        src = LeaseGrowSource(pool, "a", prober=lambda r: True)
+        assert src.available() == 1
+        assert src.claim(1)
+        assert pool.lease("a").ranks == (0, 1)
+
+    def test_limit_caps_the_probe(self):
+        pool = RankPool(8)
+        pool.acquire("a", 2)
+        assert LeaseGrowSource(pool, "a", limit=3).available() == 3
+
+    def test_concurrent_claims_stay_disjoint(self):
+        """Two jobs racing to grow never claim the same pool rank."""
+        pool = RankPool(6)
+        pool.acquire("a", 2)
+        pool.acquire("b", 2)
+        results = {}
+
+        def grab(job):
+            results[job] = pool.grow(job, 2)
+
+        ts = [threading.Thread(target=grab, args=(j,)) for j in ("a", "b")]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        won = [l for l in results.values() if l is not None]
+        assert len(won) == 1  # only 2 free ranks: exactly one winner
+        la, lb = pool.lease("a"), pool.lease("b")
+        assert not set(la.ranks) & set(lb.ranks)
+
+    def test_lease_is_immutable_snapshot(self):
+        pool = RankPool(4)
+        before = pool.acquire("a", 2)
+        pool.grow("a", 1)
+        assert before.ranks == (0, 1)  # old snapshot untouched
+        assert isinstance(before, RankLease) and before.size == 2

@@ -9,7 +9,11 @@ import numpy as np
 import pytest
 
 from repro.core import ChannelConfig
-from repro.core.checkpoint import CheckpointCorruptError, ShardedCheckpointRotation
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointUnrecoverableError,
+    ShardedCheckpointRotation,
+)
 from repro.instrument import RecoveryCounters
 from repro.mpi.simmpi import FaultEvent, FaultPlan, run_spmd
 from repro.pencil.distributed import DistributedChannelDNS, run_supervised_spmd
@@ -168,6 +172,52 @@ class TestCoordinatedFallback:
             assert "shard-r0002.npz" in msg
             assert "failed verification" in msg
             assert "checksum mismatch" in msg or "unreadable" in msg
+
+    def test_two_corrupt_generations_raise_typed_error_with_attribution(
+        self, tmp_path
+    ):
+        """Regression for the exhaustion path: corrupt a different shard
+        in each of two generations — the typed error lists *both*
+        generations with per-shard rank/path/reason attribution, newest
+        first, and is a CheckpointCorruptError for existing handlers."""
+
+        def save_two(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            dns.initialize()
+            dns.run(1)
+            dns.save_checkpoint(tmp_path)
+            dns.run(1)
+            dns.save_checkpoint(tmp_path)
+            return True
+
+        run_spmd(4, save_two)
+        _flip_byte(tmp_path / "step-000000001" / "shard-r0001.npz")
+        _flip_byte(tmp_path / "step-000000002" / "shard-r0003.npz")
+
+        def restore(comm):
+            dns = DistributedChannelDNS(comm, CFG, pa=2, pb=2)
+            try:
+                dns.load_checkpoint(tmp_path)
+            except CheckpointUnrecoverableError as exc:
+                return exc
+            return None
+
+        for exc in run_spmd(4, restore):
+            assert isinstance(exc, CheckpointCorruptError)  # handler compat
+            names = [name for name, _ in exc.generations]
+            assert names == ["step-000000002", "step-000000001"]  # newest first
+            for (name, fails), rank, shard in (
+                (exc.generations[0], 3, "shard-r0003.npz"),
+                (exc.generations[1], 1, "shard-r0001.npz"),
+            ):
+                assert [f["rank"] for f in fails] == [rank]
+                assert fails[0]["path"] == str(tmp_path / name / shard)
+                assert "checksum mismatch" in fails[0]["reason"] or "unreadable" in fails[0]["reason"]
+            # the message still carries the full story for log greps
+            msg = str(exc)
+            assert "no verifiable" in msg
+            assert "rank 3" in msg and "shard-r0003.npz" in msg
+            assert "rank 1" in msg and "shard-r0001.npz" in msg
 
     def test_layout_mismatch_rejected(self, tmp_path):
         def save_4ranks(comm):

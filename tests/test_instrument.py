@@ -125,6 +125,7 @@ class TestRecoveryCounters:
         c.restarts += 1
         c.dt_reductions += 1
         c.shrinks += 2
+        c.grows += 1
         c.reshard_restores += 1
         assert c.snapshot() == {
             "checkpoints_saved": 4,
@@ -135,6 +136,7 @@ class TestRecoveryCounters:
             "restarts": 1,
             "dt_reductions": 1,
             "shrinks": 2,
+            "grows": 1,
             "reshard_restores": 1,
         }
         rep = c.report()
