@@ -429,6 +429,12 @@ class CheckpointRotation:
     def save(self, dns: ChannelDNS) -> pathlib.Path:
         path = self.directory / f"{self.basename}-{dns.step_count:09d}.npz"
         save_checkpoint(dns, path)
+        # a streaming-statistics sidecar rides along with every snapshot
+        # (written before the pointer moves, so `latest` never names a
+        # snapshot whose sidecar is missing mid-crash) — see repro.serving
+        streaming = getattr(dns, "streaming", None)
+        if streaming is not None and streaming.total_samples > 0:
+            streaming.save_to(self.directory, dns.step_count)
         _atomic_write_text(self.directory / self.POINTER, path.name)
         if self.counters is not None:
             self.counters.checkpoints_saved += 1
@@ -436,6 +442,10 @@ class CheckpointRotation:
             old.unlink(missing_ok=True)
             if self.counters is not None:
                 self.counters.checkpoints_pruned += 1
+        if streaming is not None:
+            sidecars = sorted(self.directory.glob("stats-*.npz"))
+            for old in sidecars[: max(0, len(sidecars) - self.keep)]:
+                old.unlink(missing_ok=True)
         return path
 
     # -- verified restore ----------------------------------------------
@@ -569,6 +579,12 @@ class ShardedCheckpointRotation:
             arrays["w00"] = state.w00
         _atomic_write_npz(snap / f"shard-r{comm.rank:04d}.npz", shard_manifest, arrays)
         comm.barrier()  # all shards durable before the manifest names them
+        # streaming-statistics sidecar (collective merge, rank-0 write)
+        # lands inside the step dir before the manifest/pointer name it,
+        # so a restorable snapshot always carries its accumulated samples
+        streaming = getattr(ddns, "streaming", None)
+        if streaming is not None and streaming.total_samples > 0:
+            streaming.save_to(snap)
         if comm.rank == 0:
             manifest = {
                 "format_version": FORMAT_VERSION,
@@ -684,6 +700,12 @@ class ShardedCheckpointRotation:
                 ddns.stepper.forcing = float(runtime["forcing"])
             if not same_layout and self.counters is not None:
                 self.counters.reshard_restores += 1
+            # sidecars hold *global* sums, so the restore is decomposition-
+            # agnostic for free: any layout (including post-shrink/grow)
+            # reloads the same base.  Missing sidecar -> start from zero.
+            streaming = getattr(ddns, "streaming", None)
+            if streaming is not None:
+                streaming.restore_from(snap)
             return snap
         raise CheckpointUnrecoverableError(
             self.directory, tried, kind="sharded checkpoint"

@@ -115,6 +115,8 @@ class ChannelDNS:
         self.state: ChannelState | None = None
         self.step_count = 0
         self.recorder = None
+        self.streaming = None
+        self._streaming_every = 0
         if telemetry is not None:
             from repro.telemetry import RunRecorder
 
@@ -145,12 +147,32 @@ class ChannelDNS:
             )
         self.state = state
 
+    def attach_streaming(self, stats=None, *, every: int = 1):
+        """Attach a streaming-statistics accumulator to the step loop.
+
+        Every ``every`` steps, :meth:`step` folds the fresh state into
+        the accumulator under the ``stats`` timer section (see
+        :mod:`repro.serving`).  ``stats=None`` builds a fresh
+        :class:`~repro.serving.StreamingStatistics`.  Returns the
+        attached accumulator.
+        """
+        if stats is None:
+            from repro.serving import StreamingStatistics
+
+            stats = StreamingStatistics(self)
+        self.streaming = stats
+        self._streaming_every = max(1, int(every))
+        return stats
+
     def step(self) -> None:
         """Advance one timestep."""
         if self.state is None:
             raise RuntimeError("call initialize() first")
         self.state = self.stepper.step(self.state)
         self.step_count += 1
+        if self.streaming is not None and self.step_count % self._streaming_every == 0:
+            with self.stepper.timers.section(self.stepper.timers.STATS):
+                self.streaming.sample(self.state)
         if self.recorder is not None:
             self.recorder.record_step(self)
 

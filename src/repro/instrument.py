@@ -87,6 +87,9 @@ class SectionTimers:
     #: elastic-recovery section: survivor re-planning and reshard restores
     #: after a shrink (disjoint, like CHECKPOINT/RECOVERY)
     ELASTIC = "elastic"
+    #: streaming-statistics section: accumulator sampling inside the step
+    #: loop (disjoint — it runs after the RK3 advance returned)
+    STATS = "stats"
     #: compute executed while a nonblocking exchange was in flight (the
     #: pipelined transposes run FFT slabs inside the transpose section,
     #: so this is nested — it measures hidden time, not extra time)
@@ -389,6 +392,49 @@ class RecoveryCounters:
             f"rollbacks={self.rollbacks}  restarts={self.restarts}  "
             f"dt_reductions={self.dt_reductions}  shrinks={self.shrinks}  "
             f"grows={self.grows}  reshard_restores={self.reshard_restores}"
+        )
+
+
+class StatsCounters:
+    """Bookkeeping of a streaming-statistics accumulator
+    (:class:`repro.serving.StreamingStatistics`).
+
+    ``samples`` counts states folded into the running sums, ``merges``
+    the collective partial-sum reductions performed (one ``allreduce``
+    per merge, regardless of how many profiles/spectra it carries),
+    ``publishes`` results pushed into a results store, and ``restores``
+    accumulator sidecars loaded back after a checkpoint restart or
+    reshard.  ``sample_seconds`` accumulates the accumulator's own wall
+    time — the numerator of the same <1%-of-step-time budget the
+    telemetry recorder enforces on itself, checkable from the ``stats``
+    telemetry group and asserted by ``scripts/stats_service_smoke.py``.
+    """
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self.merges = 0
+        self.publishes = 0
+        self.restores = 0
+        self.sample_seconds = 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "samples": self.samples,
+            "merges": self.merges,
+            "publishes": self.publishes,
+            "restores": self.restores,
+            "sample_seconds": self.sample_seconds,
+        }
+
+    def report(self) -> str:
+        return (
+            f"samples={self.samples}  merges={self.merges}  "
+            f"publishes={self.publishes}  restores={self.restores}  "
+            f"sample_time={self.sample_seconds:.4f}s"
         )
 
 

@@ -108,6 +108,8 @@ class DistributedChannelDNS:
         self.state: ChannelState | None = None
         self.step_count = 0
         self.recorder = None
+        self.streaming = None
+        self._streaming_every = 0
         if telemetry is not None:
             from repro.telemetry import RunRecorder
 
@@ -152,6 +154,22 @@ class DistributedChannelDNS:
         )
         self.state = state
 
+    def attach_streaming(self, stats=None, *, every: int = 1):
+        """Attach a streaming-statistics accumulator (collective: every
+        rank must attach with the same ``every`` — sampling reduces).
+
+        See :meth:`repro.core.solver.ChannelDNS.attach_streaming`; here
+        the accumulator holds this rank's partial sums, merged through
+        the communicator on publish/checkpoint.  Returns the accumulator.
+        """
+        if stats is None:
+            from repro.serving import StreamingStatistics
+
+            stats = StreamingStatistics(self)
+        self.streaming = stats
+        self._streaming_every = max(1, int(every))
+        return stats
+
     def step(self) -> None:
         if self.state is None:
             raise RuntimeError("call initialize() first")
@@ -160,6 +178,9 @@ class DistributedChannelDNS:
         # nonlinear_products spans the whole dealiased evaluation
         self.state = self.stepper.step(self.state)
         self.step_count += 1
+        if self.streaming is not None and self.step_count % self._streaming_every == 0:
+            with self.timers.section(self.timers.STATS):
+                self.streaming.sample(self.state)
         if self.recorder is not None:
             self.recorder.record_step(self)
 
@@ -284,6 +305,8 @@ def run_supervised_spmd(
     max_ranks: int | None = None,
     should_stop: Callable[[], Any] | None = None,
     on_shrink: Callable[[Sequence[int], Sequence[int]], Any] | None = None,
+    streaming_every: int = 0,
+    publish=None,
 ):
     """Job-level supervised restart loop for the distributed DNS.
 
@@ -350,6 +373,16 @@ def run_supervised_spmd(
     ``<dir>/attempt-NN/``, and a job-level ``events.jsonl`` (``rank=-1``)
     records every restart, shrink, grow, preemption and give-up decision
     of this loop.
+
+    ``streaming_every=N`` (N > 0) attaches a
+    :class:`~repro.serving.StreamingStatistics` accumulator sampling
+    every N steps; its merged sums ride along with every boundary
+    snapshot as a checksummed sidecar and are restored on every
+    restart/reshard, so a recovered (or shrunken/grown) run loses no
+    accumulated samples.  ``publish`` names a
+    :class:`~repro.serving.StatsStore` root (or passes one): on normal
+    completion the merged time averages are published there, keyed by
+    the run's config fingerprint and Re_tau.
     """
     from repro.core.checkpoint import ShardedCheckpointRotation
     from repro.core.health import HealthCheckError
@@ -415,6 +448,10 @@ def run_supervised_spmd(
                 comm, config, pa=cur_pa, pb=cur_pb, method=method,
                 telemetry=attempt_tel, wire_precision=wire_precision,
             )
+            if streaming_every:
+                # attach before the restore so load_latest can hand the
+                # accumulator its sidecar (no samples lost on restart)
+                dns.attach_streaming(every=int(streaming_every))
             rotation = ShardedCheckpointRotation(
                 checkpoint_dir, keep=keep, counters=counters
             )
@@ -464,6 +501,28 @@ def run_supervised_spmd(
                             if kind == "stop":
                                 raise PreemptRequired(val, step=dns.step_count)
                             raise GrowRequired(val, comm.size)
+                if (
+                    publish is not None
+                    and dns.streaming is not None
+                    and dns.streaming.total_samples > 0
+                ):
+                    # collective merge; rank 0 publishes into the store
+                    stats = dns.streaming.result()
+                    if comm.rank == 0:
+                        from repro.serving.store import StatsStore
+
+                        target = (
+                            publish
+                            if isinstance(publish, StatsStore)
+                            else StatsStore(publish)
+                        )
+                        target.publish(
+                            stats,
+                            config,
+                            step_count=dns.step_count,
+                            sim_time=float(dns.state.time),
+                        )
+                        dns.streaming.counters.publishes += 1
                 return dns.gather_state()
             finally:
                 # runs on the failure path too, so a crashed attempt still

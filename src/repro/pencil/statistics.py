@@ -69,12 +69,15 @@ class DistributedStatistics:
         return total / self.nsamples
 
     def mean_velocity(self) -> np.ndarray:
+        """Global mean streamwise profile ``U(y)`` (collective)."""
         return self.profile("U")
 
     def reynolds_stress(self) -> np.ndarray:
+        """Global Reynolds shear stress ``-<u'v'>(y)`` (collective)."""
         return -self.profile("uv")
 
     def friction_velocity(self, nu: float) -> float:
+        """``u_tau = sqrt(nu |dU/dy|_wall)``, both walls averaged (collective)."""
         a = self.dns.grid.basis.interpolate(self.mean_velocity())
         d_lo, d_up = self.dns.stepper.ops.wall_derivatives(a)
         return float(np.sqrt(nu * 0.5 * (abs(d_lo) + abs(d_up))))

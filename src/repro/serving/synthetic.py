@@ -1,0 +1,93 @@
+"""Closed-form synthetic results for benchmarks and serving tests.
+
+The query layer and its load benchmark need a populated store without
+paying for a DNS campaign.  :func:`synthetic_result` builds a complete,
+schema-valid result dict (every :data:`repro.serving.store.RESULT_ARRAYS`
+key) from the law-of-wall reference curves in
+:mod:`repro.stats.lawofwall` — the same shapes the paper's Figs. 5-6
+overlay — plus simple model spectra; :func:`populate_store` publishes a
+family of them across Re_tau.  Benchmark numbers measured against a
+synthetic store exercise exactly the production read path (checksummed
+load, interpolation, caching): only the *content* is synthetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.store import StatsStore
+from repro.stats.lawofwall import reichardt, variance_reference
+
+
+def _config_stub(re_tau: float, ny: int, mx: int, nz: int) -> dict:
+    """Minimal config dict for fingerprinting a synthetic publish."""
+    return {
+        "kind": "synthetic-lawofwall",
+        "re_tau": float(re_tau),
+        "nu": 1.0 / float(re_tau),
+        "ny": int(ny),
+        "nx": 2 * int(mx),
+        "nz": int(nz),
+    }
+
+
+def synthetic_result(
+    re_tau: float, *, ny: int = 65, mx: int = 16, nz: int = 32
+) -> tuple[dict, dict]:
+    """A full result dict shaped by the law-of-wall references.
+
+    Returns ``(result, config_dict)`` ready for
+    :meth:`~repro.serving.store.StatsStore.publish`.  ``u_tau`` is 1 (so
+    wall units equal outer units scaled by Re_tau), the mean profile is
+    Reichardt's composite, variances follow
+    :func:`~repro.stats.lawofwall.variance_reference`, and the spectra
+    are smooth ``k^-5/3``-flavoured model surfaces — enough structure to
+    make interpolation and caching do real work.
+    """
+    re_tau = float(re_tau)
+    u_tau = 1.0
+    nu = 1.0 / re_tau
+    # Chebyshev-like clustering toward the walls, y in [-1, 1]
+    y = -np.cos(np.linspace(0.0, np.pi, ny))
+    yplus_lo = (1.0 + y) * u_tau / nu  # distance from the lower wall
+    yplus_up = (1.0 - y) * u_tau / nu  # distance from the upper wall
+    yplus = np.minimum(yplus_lo, yplus_up)  # symmetric channel
+    result: dict = {
+        "y": y,
+        "U": reichardt(yplus) * u_tau,
+        "nsamples": 1,
+        "u_tau": u_tau,
+    }
+    for name, comp in (("uu", "uu"), ("vv", "vv"), ("ww", "ww")):
+        result[name] = variance_reference(yplus, re_tau, comp) * u_tau**2
+    # the stress changes sign across the centreline (u'v' < 0 below it)
+    uv_mag = variance_reference(yplus, re_tau, "uv") * u_tau**2
+    result["uv"] = -np.sign(-y) * uv_mag
+    kx = np.arange(mx, dtype=float)
+    kz = np.arange(nz // 2, dtype=float)
+    result["kx"] = kx
+    result["kz"] = kz
+    for c, amp in (("u", 1.0), ("v", 0.3), ("w", 0.5)):
+        # E(k, y): inertial-range decay shaped by the local variance
+        ex = (1.0 + kx[:, None]) ** (-5.0 / 3.0) * (amp + result["uu"][None, :])
+        ez = (1.0 + kz[:, None]) ** (-5.0 / 3.0) * (amp + result["ww"][None, :])
+        result[f"spec_x_{c}"] = ex
+        result[f"spec_z_{c}"] = ez
+    return result, _config_stub(re_tau, ny, mx, nz)
+
+
+def populate_store(
+    root,
+    re_taus=(180.0, 550.0, 1000.0, 2000.0, 5200.0),
+    *,
+    ny: int = 65,
+    mx: int = 16,
+    nz: int = 32,
+    keep: int = 3,
+) -> StatsStore:
+    """Publish a synthetic result at every requested Re_tau; returns the store."""
+    store = StatsStore(root, keep=keep)
+    for r in re_taus:
+        result, cfg = synthetic_result(r, ny=ny, mx=mx, nz=nz)
+        store.publish(result, cfg, step_count=1)
+    return store

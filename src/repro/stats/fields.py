@@ -16,7 +16,12 @@ from repro.core.transforms import to_quadrature_grid
 
 
 def streamwise_velocity_plane(dns: ChannelDNS, z_index: int = 0) -> np.ndarray:
-    """u(x, y) on the quadrature grid at one spanwise location (Fig. 7)."""
+    """u(x, y) at one spanwise quadrature location (Fig. 7).
+
+    Returns the ``(nxq, ny)`` slice of the dealiased physical velocity;
+    ``z_index`` indexes the quadrature grid (``nzq`` points), not the
+    coarse collocation grid.
+    """
     u, _, _ = dns.physical_velocity()
     return u[:, z_index, :]
 
@@ -24,8 +29,11 @@ def streamwise_velocity_plane(dns: ChannelDNS, z_index: int = 0) -> np.ndarray:
 def spanwise_vorticity_plane(dns: ChannelDNS, yplus: float = 15.0) -> np.ndarray:
     """``omega_z(x, z) = dv/dx - du/dy`` at a near-wall plane (Fig. 8).
 
-    ``yplus`` selects the wall distance in viscous units using the
-    configured Re_tau.
+    ``yplus`` is the wall distance in viscous units; it is converted
+    with the run's viscosity in ``u_tau = 1`` units
+    (``y = -1 + yplus * nu``) and snapped to the nearest collocation
+    plane of the *lower* wall.  Returns the ``(nxq, nzq)`` physical
+    vorticity slice on the dealiased quadrature grid.
     """
     g = dns.grid
     s = dns.stepper
@@ -49,7 +57,12 @@ def ascii_contour(
     height: int = 20,
     levels: str = " .:-=+*#%@",
 ) -> str:
-    """Text-mode filled contour of a 2-D field (rows = second axis)."""
+    """Text-mode filled contour of a 2-D field.
+
+    The field's first axis runs left-to-right across a row, the second
+    axis bottom-to-top down the rows (so a ``(x, y)`` plane renders with
+    the wall at the bottom); values map linearly onto ``levels``.
+    """
     f = np.asarray(field, dtype=float)
     if f.ndim != 2:
         raise ValueError("need a 2-D field")

@@ -18,9 +18,17 @@ from repro.core.operators import WallNormalOps
 def energy_spectrum_x(
     grid: ChannelGrid, ops: WallNormalOps, field: np.ndarray, y_index: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(kx, E(kx)): spanwise-averaged streamwise spectrum at one y plane.
+    """(kx, E(kx)): streamwise 1-D spectrum at one y plane, summed over kz.
 
-    ``field`` is a spectral coefficient array ``(mx, mz, ny)``.
+    ``field`` is a spectral coefficient array ``(mx, mz, ny)``.  For
+    each retained streamwise wavenumber, ``E(kx)`` sums ``|f(kx, kz)|^2``
+    over every signed spanwise mode; the ``kx > 0`` rows are then doubled
+    (reality condition: the stored half-spectrum represents +/-kx), so
+    Parseval holds: ``sum_kx E(kx)`` is the plane's total energy in this
+    field.  The streaming accumulator
+    (:class:`repro.serving.StreamingStatistics`) reproduces this
+    quantity per plane; identity is pinned by
+    ``tests/serving/test_accumulators.py``.
     """
     vals = ops.values(field)[:, :, y_index]  # (mx, mz)
     e = (np.abs(vals) ** 2).sum(axis=1)
@@ -31,7 +39,14 @@ def energy_spectrum_x(
 def energy_spectrum_z(
     grid: ChannelGrid, ops: WallNormalOps, field: np.ndarray, y_index: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(kz >= 0, E(kz)): streamwise-averaged spanwise spectrum at one y plane."""
+    """(kz >= 0, E(kz)): spanwise 1-D spectrum at one y plane, summed over kx.
+
+    The sum over streamwise modes applies the reality weight first
+    (``kx > 0`` counts twice, matching :func:`energy_spectrum_x`), then
+    the signed spanwise spectrum is folded onto ``kz >= 0`` by adding
+    the ``-kz`` column into its ``+kz`` partner — so here too
+    ``sum_kz E(kz)`` is the plane's total energy.
+    """
     vals = ops.values(field)[:, :, y_index]  # (mx, mz)
     w = np.full(grid.mx, 2.0)
     w[0] = 1.0

@@ -241,6 +241,35 @@ def _case_grow_cascade() -> Callable[[], None]:
     return cascade
 
 
+def _case_stats_query() -> Callable[[], None]:
+    """The serving read path: 32 mixed statistics queries against a
+    warm :class:`~repro.serving.StatisticsService` (response-cache hits
+    plus the interpolation work of uncached y+ sweeps)."""
+    import tempfile
+
+    from repro.serving import StatisticsService
+    from repro.serving.synthetic import populate_store
+
+    store = populate_store(
+        pathlib.Path(tempfile.mkdtemp(prefix="stats-bench-")) / "store",
+        (180.0, 550.0, 1000.0, 2000.0),
+    )
+    service = StatisticsService(store, cache_size=256)
+    y_sweep = tuple(float(y) for y in np.geomspace(1.0, 150.0, 16))
+
+    def queries() -> None:
+        for re_tau in (180.0, 350.0, 550.0, 1500.0):
+            service.law_of_wall(re_tau, y_sweep)
+            for comp in ("u", "v", "w", "uv"):
+                service.variance(re_tau, comp, y_sweep)
+            service.spectrum(re_tau, "x", "u", 15.0)
+            service.spectrum(re_tau, "z", "u", 15.0)
+            service.spectrum(re_tau, "x", "w", 100.0)
+
+    queries()  # cold pass fills both caches; timed passes are the warm path
+    return queries
+
+
 def _case_dns_step() -> Callable[[], None]:
     from repro.core import ChannelConfig, ChannelDNS
 
@@ -277,6 +306,11 @@ HOT_PATH_CASES: tuple[BenchCase, ...] = (
         "grow_cascade_32",
         _case_grow_cascade,
         guards="PR 9 elastic-expansion reshard restore (1x1 -> 2x2 -> 2x4, 32x33x32)",
+    ),
+    BenchCase(
+        "stats_query_32",
+        _case_stats_query,
+        guards="PR 10 warm-cache statistics serving (32 mixed queries, 4-Re_tau store)",
     ),
 )
 

@@ -229,6 +229,9 @@ class RunRecorder:
             self._baseline_counts("overlap", self._overlap.snapshot())
         if self._precision is not None:
             self._baseline_counts("precision", self._precision.snapshot())
+        streaming = getattr(self._dns, "streaming", None)
+        if streaming is not None:
+            self._baseline_counts("stats", streaming.counters.snapshot())
 
     @staticmethod
     def _counter_scalars(snapshot: dict) -> dict:
@@ -299,6 +302,11 @@ class RunRecorder:
             rec["overlap"] = self._count_deltas("overlap", self._overlap.snapshot())
         if self._precision is not None:
             rec["precision"] = self._count_deltas("precision", self._precision.snapshot())
+        # late-bound on purpose: streaming statistics may be attached after
+        # telemetry (attach_streaming has no ordering contract with attach)
+        streaming = getattr(dns, "streaming", None)
+        if streaming is not None:
+            rec["stats"] = self._count_deltas("stats", streaming.counters.snapshot())
         self._write(rec)
         self.counters.records += 1
         t_end = time.perf_counter()

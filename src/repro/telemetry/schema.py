@@ -25,7 +25,10 @@ from typing import Iterator
 #: v4 added the optional ``job`` event field (multi-job scheduler: a
 #: manager-level ``events.jsonl`` interleaves events of several jobs)
 #: and the pool/job lifecycle event kinds.
-SCHEMA_VERSION = 4
+#: v5 added the optional ``stats`` step group (streaming-statistics
+#: accumulator counters, :mod:`repro.serving`) and the ``stats`` entry
+#: in the section-timer enumeration.
+SCHEMA_VERSION = 5
 
 #: record types a stream may contain
 RECORD_TYPES = ("step", "event", "summary")
@@ -54,7 +57,7 @@ STEP_FIELDS: dict[str, tuple[bool, str]] = {
         True,
         'per-section deltas since the previous record: {name: {"s": seconds, "calls": n}} '
         "over the SectionTimers names (transpose, fft, ns_advance, nonlinear_products, "
-        "solve [nested in ns_advance], reorder, checkpoint, recovery, elastic)",
+        "solve [nested in ns_advance], reorder, checkpoint, recovery, elastic, stats)",
     ),
     "transforms": (
         False,
@@ -93,6 +96,13 @@ STEP_FIELDS: dict[str, tuple[bool, str]] = {
         "bytes_wire what was actually staged — equal under wire='full', roughly halved "
         "under wire='mixed'; per-rank; absent when the backend exposes no precision "
         "counters (serial runs, P3DFFT baseline)",
+    ),
+    "stats": (
+        False,
+        "StatsCounters deltas of the streaming-statistics accumulator (samples, merges, "
+        "publishes, restores, sample_seconds); sample_seconds is the accumulator's "
+        "self-measured wall time, the numerator of its <1%-of-step-time budget; absent "
+        "when no accumulator is attached (dns.attach_streaming)",
     ),
 }
 

@@ -1,0 +1,169 @@
+"""Query layer: endpoints, Re_tau bracketing, y+ interpolation, caching."""
+
+import numpy as np
+import pytest
+
+from repro.serving import StatisticsService, StatsStore
+from repro.serving.synthetic import populate_store, synthetic_result
+
+RE_TAUS = (180.0, 550.0, 1000.0)
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = populate_store(tmp_path, RE_TAUS)
+    return StatisticsService(store, cache_size=64, dataset_cache_size=4)
+
+
+class TestEndpoints:
+    def test_law_of_wall_exact_re_tau(self, service):
+        resp = service.law_of_wall(180.0, (5.0, 30.0, 100.0))
+        assert resp["query"] == "law_of_wall"
+        assert resp["re_tau_sources"] == [180.0]
+        assert resp["y_plus"] == [5.0, 30.0, 100.0]
+        assert len(resp["u_plus"]) == 3
+        # the synthetic profile is Reichardt's: near-linear at y+=5,
+        # log-layer by y+=100 — U+ must be monotone over this sweep
+        u = resp["u_plus"]
+        assert u[0] < u[1] < u[2]
+        assert 3.0 < u[0] < 7.0  # U+ ~ y+ in the viscous sublayer
+
+    def test_variance_components(self, service):
+        for comp in ("u", "v", "w", "uv"):
+            resp = service.variance(550.0, comp, 15.0)
+            assert resp["component"] == comp
+            assert len(resp["value_plus"]) == 1
+        # streamwise variance peaks near the wall, dominates v and w there
+        uu = service.variance(550.0, "u", 15.0)["value_plus"][0]
+        vv = service.variance(550.0, "v", 15.0)["value_plus"][0]
+        assert uu > vv > 0.0
+
+    def test_variance_bad_component(self, service):
+        with pytest.raises(ValueError, match="component"):
+            service.variance(180.0, "q", 15.0)
+
+    def test_spectrum_endpoint(self, service):
+        resp = service.spectrum(180.0, "x", "u", 15.0)
+        assert resp["query"] == "spectrum"
+        assert resp["direction"] == "x"
+        assert resp["re_tau_sources"] == [180.0]
+        assert len(resp["energy"]) == len(resp["wavenumbers"])
+        assert all(e >= 0.0 for e in resp["energy"])
+
+    def test_spectrum_bad_inputs(self, service):
+        with pytest.raises(ValueError, match="direction"):
+            service.spectrum(180.0, "y", "u", 15.0)
+        with pytest.raises(ValueError, match="component"):
+            service.spectrum(180.0, "x", "uv", 15.0)
+
+    def test_empty_store(self, tmp_path):
+        svc = StatisticsService(StatsStore(tmp_path / "empty"))
+        with pytest.raises(FileNotFoundError, match="empty"):
+            svc.law_of_wall(180.0, 10.0)
+
+
+class TestInterpolation:
+    def test_interior_request_brackets_two_sources(self, service):
+        resp = service.law_of_wall(300.0, (10.0, 50.0))
+        assert resp["re_tau_sources"] == [180.0, 550.0]
+        # the blend lies between its endpoint profiles
+        lo = service.law_of_wall(180.0, (10.0, 50.0))["u_plus"]
+        hi = service.law_of_wall(550.0, (10.0, 50.0))["u_plus"]
+        for blended, a, b in zip(resp["u_plus"], lo, hi):
+            assert min(a, b) - 1e-12 <= blended <= max(a, b) + 1e-12
+
+    def test_log_re_tau_weights(self, service):
+        """The blend is linear in log(Re_tau): at the geometric mean of
+        the bracket the weights are exactly (0.5, 0.5)."""
+        mid = float(np.sqrt(180.0 * 550.0))
+        resp = service.law_of_wall(mid, 30.0)
+        lo = service.law_of_wall(180.0, 30.0)["u_plus"][0]
+        hi = service.law_of_wall(550.0, 30.0)["u_plus"][0]
+        np.testing.assert_allclose(resp["u_plus"][0], 0.5 * (lo + hi), rtol=1e-12)
+
+    def test_out_of_range_clamps_to_nearest(self, service):
+        low = service.law_of_wall(50.0, 10.0)
+        high = service.law_of_wall(9999.0, 10.0)
+        assert low["re_tau_sources"] == [180.0]
+        assert high["re_tau_sources"] == [1000.0]
+
+    def test_spectrum_uses_nearest_source_only(self, service):
+        resp = service.spectrum(480.0, "z", "w", 30.0)
+        assert resp["re_tau_sources"] == [550.0]
+
+    def test_y_plus_interpolation_matches_numpy(self, tmp_path):
+        """A profile query at arbitrary y+ is np.interp over the stored
+        lower-half wall-unit profile."""
+        result, config = synthetic_result(180.0)
+        store = StatsStore(tmp_path)
+        store.publish(result, config)
+        svc = StatisticsService(store)
+        y = np.asarray(result["y"])
+        half = y <= 0.0
+        y_plus = (1.0 + y[half]) * result["u_tau"] / (1.0 / 180.0)
+        expect = np.interp(37.5, y_plus, np.asarray(result["U"])[half] / result["u_tau"])
+        got = svc.law_of_wall(180.0, 37.5)["u_plus"][0]
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+    def test_nsamples_is_min_over_sources(self, service):
+        resp = service.law_of_wall(300.0, 10.0)
+        ns = [
+            service.law_of_wall(r, 10.0)["nsamples"] for r in resp["re_tau_sources"]
+        ]
+        assert resp["nsamples"] == min(ns)
+
+
+class TestCaching:
+    def test_response_cache_hit_counters(self, service):
+        service.law_of_wall(180.0, (10.0, 50.0))
+        before = service.cache_info()["responses"]
+        service.law_of_wall(180.0, (10.0, 50.0))
+        after = service.cache_info()["responses"]
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_distinct_queries_miss(self, service):
+        service.law_of_wall(180.0, 10.0)
+        m0 = service.cache_info()["responses"]["misses"]
+        service.law_of_wall(180.0, 11.0)
+        service.variance(180.0, "u", 10.0)
+        assert service.cache_info()["responses"]["misses"] == m0 + 2
+
+    def test_dataset_cache_avoids_reloads(self, service):
+        service.law_of_wall(180.0, 10.0)
+        d0 = service.cache_info()["datasets"]
+        service.law_of_wall(180.0, 20.0)  # new response, same dataset
+        d1 = service.cache_info()["datasets"]
+        assert d1["hits"] == d0["hits"] + 1
+        assert d1["misses"] == d0["misses"]
+
+    def test_clear_caches(self, service):
+        service.law_of_wall(180.0, 10.0)
+        service.clear_caches()
+        info = service.cache_info()
+        assert info["responses"]["size"] == 0
+        assert info["datasets"]["size"] == 0
+
+    def test_lru_eviction_bounded(self, tmp_path):
+        store = populate_store(tmp_path, (180.0,))
+        svc = StatisticsService(store, cache_size=4)
+        for i in range(10):
+            svc.law_of_wall(180.0, float(i))
+        info = svc.cache_info()["responses"]
+        assert info["size"] == 4
+        assert info["maxsize"] == 4
+
+    def test_warm_answers_without_store(self, service, tmp_path):
+        """A warm cache answers from memory: deleting the store files
+        underneath does not break repeated queries."""
+        resp = service.spectrum(180.0, "x", "u", 15.0)
+        import shutil
+
+        shutil.rmtree(service.store.root)
+        again = service.spectrum(180.0, "x", "u", 15.0)
+        assert again is resp
+
+    def test_store_path_coerced(self, tmp_path):
+        populate_store(tmp_path, (180.0,))
+        svc = StatisticsService(tmp_path)  # plain path, not a StatsStore
+        assert svc.law_of_wall(180.0, 10.0)["re_tau_sources"] == [180.0]
